@@ -1,0 +1,44 @@
+# Common entry points. Everything is plain `go` — the Makefile is just a
+# memo of the useful invocations.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench figures figures-full demo fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/network/
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate the paper's evaluation (quick durations; ~30 min).
+figures:
+	$(GO) run ./cmd/figures -exp all -csv results/ | tee results_all.txt
+
+# The paper's full 10k+100k-cycle methodology (hours).
+figures-full:
+	$(GO) run ./cmd/figures -exp all -full -csv results/ | tee results_all.txt
+
+# The five-minute tour: watch a deadlock form and UPP recover it.
+demo:
+	$(GO) run ./cmd/deadlock
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -rf results/ results_all.txt results_ablation.txt test_output.txt bench_output.txt

@@ -1,0 +1,124 @@
+// Command figures regenerates every table and figure of the UPP paper's
+// evaluation from the simulator.
+//
+// Usage:
+//
+//	figures -exp all                 # everything, quick durations
+//	figures -exp fig7,fig14 -full    # selected experiments, paper-length runs
+//	figures -exp fig8 -scale 0.2     # full-system figures at reduced quota
+//	figures -exp fig7 -csv out/      # also write CSV files
+//
+// Experiments: table1 table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+// fig14 fig15 load_balance tail_latency ablation (fig8/fig12/fig15 run
+// together as "fullsystem").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"uppnoc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment list, or 'all'")
+		full  = flag.Bool("full", false, "use the paper's 10k+100k cycle durations (slow)")
+		scale = flag.Float64("scale", 0.25, "full-system benchmark access-quota scale (1.0 = calibrated profile)")
+		csv   = flag.String("csv", "", "directory to also write CSV files into")
+		quiet = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	dur := experiments.QuickDurations()
+	if *full {
+		dur = experiments.PaperDurations()
+	}
+	var progress experiments.Progress
+	if !*quiet {
+		progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	fullSystemWanted := all || want["fig8"] || want["fig12"] || want["fig15"] || want["fullsystem"]
+
+	var tables []experiments.Table
+	add := func(ts []experiments.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		tables = append(tables, ts...)
+	}
+
+	if all || want["table1"] {
+		tables = append(tables, experiments.Table1())
+	}
+	if all || want["table2"] {
+		tables = append(tables, experiments.Table2())
+	}
+	if all || want["fig2"] {
+		add(experiments.Fig2(progress))
+	}
+	if all || want["fig7"] {
+		add(experiments.Fig7(dur, progress))
+	}
+	if fullSystemWanted {
+		add(experiments.FullSystem(*scale, progress))
+	}
+	if all || want["fig9"] {
+		add(experiments.Fig9(dur, progress))
+	}
+	if all || want["fig10"] {
+		add(experiments.Fig10(dur, progress))
+	}
+	if all || want["fig11"] {
+		add(experiments.Fig11(dur, progress))
+	}
+	if all || want["fig13"] {
+		add(experiments.Fig13(dur, progress))
+	}
+	if all || want["fig14"] {
+		tables = append(tables, experiments.Fig14())
+	}
+	if all || want["load_balance"] {
+		add(experiments.LoadBalance(dur, progress))
+	}
+	if all || want["tail_latency"] {
+		add(experiments.TailLatency(dur, progress))
+	}
+	if all || want["ablation"] {
+		add(experiments.AblationBinding(dur, progress))
+		add(experiments.AblationAdaptive(dur, progress))
+		add(experiments.AblationBufferDepth(dur, progress))
+		add(experiments.AblationSignalGap(dur, progress))
+	}
+
+	if len(tables) == 0 {
+		fmt.Fprintln(os.Stderr, "figures: nothing selected (see -h)")
+		os.Exit(2)
+	}
+	for i := range tables {
+		fmt.Println(tables[i].Render())
+		if *csv != "" {
+			if err := os.MkdirAll(*csv, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csv, tables[i].ID+".csv")
+			if err := os.WriteFile(path, []byte(tables[i].CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

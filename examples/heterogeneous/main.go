@@ -1,0 +1,46 @@
+// Heterogeneous system: the modularity scenario of Sec. III-A — four
+// independently designed chiplets of different sizes (6x4, 4x4, 4x4, 2x2)
+// with different boundary-router budgets (4/4/2/1), composed on one 4x4
+// interposer. No scheme gets global knowledge at design time, yet the
+// system must stay (or recover to) deadlock-free.
+package main
+
+import (
+	"fmt"
+
+	"uppnoc/internal/core"
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+func main() {
+	cfg := topology.HeteroExampleConfig()
+	topo, err := topology.BuildHetero(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("heterogeneous chiplet system:")
+	for _, ch := range topo.Chiplets {
+		fmt.Printf("  chiplet %d: %dx%d mesh, %d boundary routers\n",
+			ch.Index, ch.Width, ch.Height, len(ch.Boundary))
+	}
+	fmt.Printf("  interposer: %dx%d, %d vertical links, %d cores total\n\n",
+		cfg.InterposerW, cfg.InterposerH, len(topo.VerticalLinks()), len(topo.Cores()))
+
+	net := network.MustNew(topo, network.DefaultConfig(), core.New(core.DefaultConfig()))
+	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, 0.06, 7)
+	gen.Run(5000)
+	net.ResetMeasurement()
+	gen.Run(30000)
+	fmt.Printf("under UPP at 0.06 flits/cycle/node:\n")
+	fmt.Printf("  latency    %.1f cycles\n", net.AvgTotalLatency())
+	fmt.Printf("  accepted   %.4f flits/cycle/node\n", net.Throughput())
+	fmt.Printf("  popups     %d completed, %d false positives\n",
+		net.Stats.PopupsCompleted, net.Stats.PopupsCancelled)
+	gen.SetRate(0)
+	if err := net.Drain(300000, 60000); err != nil {
+		panic(err)
+	}
+	fmt.Println("  drained cleanly — modular composition, deadlock recovery intact.")
+}

@@ -1,0 +1,48 @@
+// Quickstart: build the paper's baseline chiplet system (Fig. 1), attach
+// the UPP deadlock-recovery framework, drive it with uniform-random
+// traffic and print the numbers you would plot.
+package main
+
+import (
+	"fmt"
+
+	"uppnoc/internal/core"
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+func main() {
+	// 1. The baseline system: a 4x4 interposer mesh with four 4x4-mesh
+	// chiplets, each stacked via four boundary routers.
+	topo := topology.MustBuild(topology.BaselineConfig())
+	fmt.Printf("system: %d routers (%d cores, %d interposer), %d vertical links\n",
+		topo.NumNodes(), len(topo.Cores()), len(topo.Interposer), len(topo.VerticalLinks()))
+
+	// 2. A network with UPP attached. Swap core.New for
+	// composable.NewScheme or remotectl.New to compare approaches.
+	cfg := network.DefaultConfig() // 3 VNets, 1 VC each, 4-flit buffers
+	upp := core.New(core.DefaultConfig())
+	net := network.MustNew(topo, cfg, upp)
+
+	// 3. Uniform-random traffic at a moderate offered load.
+	gen := traffic.NewGenerator(net, traffic.UniformRandom{}, 0.05, 1)
+	gen.Run(10000) // warmup
+	net.ResetMeasurement()
+	gen.Run(50000) // measure
+
+	fmt.Printf("offered load:   0.0500 flits/cycle/node\n")
+	fmt.Printf("accepted load:  %.4f flits/cycle/node\n", net.Throughput())
+	fmt.Printf("avg latency:    %.1f cycles (network %.1f + queueing %.1f)\n",
+		net.AvgTotalLatency(), net.AvgNetLatency(), net.AvgQueueLatency())
+	fmt.Printf("packets:        %d delivered\n", net.Stats.MeasuredPackets)
+	fmt.Printf("upward packets: %d detected, %d popups completed, %d false positives\n",
+		net.Stats.UpwardPackets, net.Stats.PopupsCompleted, net.Stats.PopupsCancelled)
+
+	// 4. Drain and verify nothing leaked.
+	gen.SetRate(0)
+	if err := net.Drain(200000, 50000); err != nil {
+		panic(err)
+	}
+	fmt.Println("network drained cleanly — every packet delivered exactly once.")
+}

@@ -1,0 +1,3 @@
+module uppnoc
+
+go 1.22

@@ -1,0 +1,87 @@
+package core_test
+
+import (
+	"testing"
+
+	"uppnoc/internal/core"
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+// TestAdaptiveRoutingRecovery: UPP with minimal-adaptive odd-even local
+// routing — the "fully adaptive network" configuration. The popup path is
+// built by chasing the packet's own VC allocation chain (Sec. V-B3's
+// req-follows-the-packet mechanism), so recovery stays exact even though
+// routes depend on runtime congestion.
+func TestAdaptiveRoutingRecovery(t *testing.T) {
+	popups := uint64(0)
+	for _, rate := range []float64{0.12, 0.20} {
+		topo := topology.MustBuild(topology.BaselineConfig())
+		cfg := network.DefaultConfig()
+		cfg.Adaptive = true
+		u := core.New(core.DefaultConfig())
+		n := network.MustNew(topo, cfg, u)
+		g := traffic.NewGenerator(n, traffic.UniformRandom{}, rate, 33)
+		g.Run(15000)
+		g.SetRate(0)
+		if err := n.Drain(500000, 60000); err != nil {
+			t.Fatalf("rate %.2f: %v", rate, err)
+		}
+		if err := n.CheckQuiescent(); err != nil {
+			t.Fatalf("rate %.2f: %v", rate, err)
+		}
+		if err := u.UPPStateOK(); err != nil {
+			t.Fatalf("rate %.2f: %v", rate, err)
+		}
+		popups += n.Stats.PopupsCompleted
+		t.Logf("rate %.2f: %d packets, %d popups completed, %d cancelled",
+			rate, n.Stats.ConsumedPackets, n.Stats.PopupsCompleted, n.Stats.PopupsCancelled)
+	}
+	if popups == 0 {
+		t.Fatal("no popups exercised under adaptive routing — raise the load")
+	}
+}
+
+// TestAdaptiveConservation: the conservation law must also hold with
+// adaptive routing plus recovery running.
+func TestAdaptiveConservation(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	cfg := network.DefaultConfig()
+	cfg.Adaptive = true
+	u := core.New(core.DefaultConfig())
+	n := network.MustNew(topo, cfg, u)
+	g := traffic.NewGenerator(n, traffic.UniformRandom{}, 0.11, 8)
+	for i := 0; i < 20000; i++ {
+		g.Tick(n.Cycle())
+		n.Step()
+		if i%173 == 0 {
+			if err := n.CheckConservation(); err != nil {
+				t.Fatalf("cycle %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestAdaptiveBeatsXYOnTranspose: odd-even's path diversity should help
+// the transpose pattern (diagonal traffic with many minimal paths) at
+// moderate load — the payoff UPP's full path diversity enables.
+func TestAdaptiveBeatsXYOnTranspose(t *testing.T) {
+	run := func(adaptive bool) float64 {
+		topo := topology.MustBuild(topology.BaselineConfig())
+		cfg := network.DefaultConfig()
+		cfg.Adaptive = adaptive
+		cfg.Router.VCsPerVNet = 4
+		n := network.MustNew(topo, cfg, core.New(core.DefaultConfig()))
+		g := traffic.NewGenerator(n, traffic.Transpose{}, 0.06, 44)
+		g.Run(4000)
+		n.ResetMeasurement()
+		g.Run(16000)
+		return n.AvgTotalLatency()
+	}
+	xy, oe := run(false), run(true)
+	t.Logf("transpose @0.06: XY %.1f cycles, odd-even adaptive %.1f cycles", xy, oe)
+	if oe > xy*1.15 {
+		t.Fatalf("adaptive routing substantially worse than XY on transpose: %.1f vs %.1f", oe, xy)
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/sim"
+	"uppnoc/internal/topology"
+)
+
+// sendOriginSignals transmits pending UPP_req and UPP_stop signals from
+// interposer routers. Signals from one router are serialized with at least
+// SignalGap cycles between them (Sec. V-B5, first case).
+func (u *UPP) sendOriginSignals(cycle sim.Cycle) {
+	for _, p := range u.sortedPopups() {
+		switch {
+		case !p.reqSent && !p.cancelled:
+			u.trySendFromOrigin(p, sigReq, cycle)
+		case p.stopPending:
+			u.trySendFromOrigin(p, sigStop, cycle)
+		}
+	}
+}
+
+// trySendFromOrigin pushes a req or stop across the origin's up link into
+// the first chiplet router's signal buffer.
+func (u *UPP) trySendFromOrigin(p *popup, kind sigKind, cycle sim.Cycle) {
+	ns := &u.nodes[p.origin]
+	if cycle < ns.nextSignal {
+		return
+	}
+	first := &u.nodes[p.path[1].node]
+	if first.reqStop.valid || first.reqStop.reserved {
+		return
+	}
+	r := u.net.Router(p.origin)
+	out := p.path[0].outPort
+	if r.OutputClaimed(out) {
+		return // delayed by an upward flit (Sec. V-C1)
+	}
+	r.ClaimOutput(out)
+	r.SendDirect(out)
+	u.net.Stats.SignalsSent++
+	u.assertEncodable(p, kind)
+	ns.nextSignal = cycle + sim.Cycle(u.cfg.SignalGap)
+	if kind == sigReq {
+		p.reqSent = true
+	} else {
+		p.stopPending = false
+	}
+	first.reqStop.reserved = true
+	id, hopIdx := p.id, 1
+	u.net.Schedule(cycle+1+u.linkLat(), func(arrival sim.Cycle) {
+		u.signalArrive(id, kind, hopIdx, arrival)
+	})
+}
+
+// signalArrive is the buffer write of a req/stop at path[hopIdx]. Reqs
+// install the circuit entry (Fig. 6's chiplet-router table) as they pass.
+func (u *UPP) signalArrive(popupID uint64, kind sigKind, hopIdx int, arrival sim.Cycle) {
+	p := u.popups[popupID]
+	if p == nil {
+		panic(fmt.Sprintf("upp: signal arrival for retired popup %d", popupID))
+	}
+	h := &p.path[hopIdx]
+	ns := &u.nodes[h.node]
+	ns.reqStop = reqStopLatch{
+		valid:   true,
+		kind:    kind,
+		popupID: popupID,
+		hopIdx:  hopIdx,
+		ready:   arrival + 1, // BW this cycle, eligible next (head-flit pipeline)
+	}
+	if kind == sigReq {
+		ce := &ns.circuit[p.vnet]
+		if ce.active {
+			panic(fmt.Sprintf("upp: circuit conflict at node %d vnet %s (popup %d vs %d)",
+				h.node, p.vnet, ce.popupID, popupID))
+		}
+		*ce = circuitEntry{active: true, popupID: popupID, inPort: h.inPort, outPort: h.outPort, vcIdx: -1}
+	}
+}
+
+// moveSignals advances every buffered req/stop one hop and every ack one
+// reverse hop, respecting crossbar claims (popup flits already claimed
+// theirs — they have priority) and downstream buffer occupancy.
+func (u *UPP) moveSignals(cycle sim.Cycle) {
+	for id := range u.nodes {
+		u.moveReqStop(topology.NodeID(id), cycle)
+	}
+	for id := range u.nodes {
+		u.moveAcks(topology.NodeID(id), cycle)
+	}
+}
+
+func (u *UPP) moveReqStop(node topology.NodeID, cycle sim.Cycle) {
+	ns := &u.nodes[node]
+	l := &ns.reqStop
+	if !l.valid || l.ready > cycle {
+		return
+	}
+	p := u.popups[l.popupID]
+	if p == nil {
+		panic("upp: buffered signal for retired popup")
+	}
+	h := &p.path[l.hopIdx]
+	if l.hopIdx == len(p.path)-1 {
+		// Destination router: hand the signal to the NI.
+		u.deliverReqStop(p, l.kind, cycle)
+		l.valid = false
+		return
+	}
+	r := u.net.Router(node)
+	next := &u.nodes[p.path[l.hopIdx+1].node]
+	if next.reqStop.valid || next.reqStop.reserved {
+		return
+	}
+	if r.OutputClaimed(h.outPort) {
+		return // delayed one cycle by an upward flit (Sec. V-C1)
+	}
+	r.ClaimOutput(h.outPort)
+	r.SendDirect(h.outPort)
+	u.net.Stats.SignalsSent++
+	if l.kind == sigStop {
+		// Stops dismantle the circuit as they retrace the req's path.
+		ce := &ns.circuit[p.vnet]
+		if ce.active && ce.popupID == p.id {
+			*ce = circuitEntry{vcIdx: -1}
+		}
+	}
+	next.reqStop.reserved = true
+	id, kind, hopIdx := p.id, l.kind, l.hopIdx+1
+	l.valid = false
+	u.net.Schedule(cycle+1+u.linkLat(), func(arrival sim.Cycle) {
+		u.signalArrive(id, kind, hopIdx, arrival)
+	})
+}
+
+// deliverReqStop processes a req/stop reaching the destination NI.
+func (u *UPP) deliverReqStop(p *popup, kind sigKind, cycle sim.Cycle) {
+	ni := u.net.NI(p.pkt.Dst)
+	ns := &u.nodes[p.pkt.Dst]
+	if kind == sigStop {
+		ni.CancelReservation(p.vnet, p.id)
+		ce := &ns.circuit[p.vnet]
+		if ce.active && ce.popupID == p.id {
+			*ce = circuitEntry{vcIdx: -1}
+		}
+		p.stopDelivered = true
+		u.finishCancelled(p)
+		return
+	}
+	u.net.Trace("upp", p.pkt.Dst, "popup %d: UPP_req at destination NI (vnet %s)", p.id, p.vnet)
+	id := p.id
+	ni.RequestReservation(p.vnet, p.id, cycle, func(grantCycle sim.Cycle) {
+		u.net.Stats.ReservationsGranted++
+		pp := u.popups[id]
+		if pp == nil {
+			panic("upp: reservation granted for retired popup")
+		}
+		pp.ackLaunched = true
+		u.launchAck(pp, grantCycle)
+	})
+}
+
+// assertEncodable checks that the signal state being transmitted fits the
+// paper's Fig. 4 wire format (18-bit req/stop, 9-bit ack, 32-bit buffers)
+// — the simulator moves structs, but the hardware budget must hold.
+func (u *UPP) assertEncodable(p *popup, kind sigKind) {
+	sig := message.Signal{VNet: p.vnet, Dst: p.pkt.Dst, Origin: p.origin, PopupID: p.id, InputVC: int8(p.vcIdx)}
+	switch kind {
+	case sigReq:
+		sig.Type = message.UPPReq
+	case sigStop:
+		sig.Type = message.UPPStop
+	}
+	if _, err := sig.Encode(); err != nil {
+		panic(fmt.Sprintf("upp: signal exceeds the Fig. 4 encoding budget: %v", err))
+	}
+}
+
+// launchAck places the UPP_ack in the destination router's ack buffer.
+func (u *UPP) launchAck(p *popup, cycle sim.Cycle) {
+	ns := &u.nodes[p.pkt.Dst]
+	if len(ns.acks)+ns.ackRes >= message.NumVNets {
+		panic("upp: ack buffer overflow (merging invariant violated)")
+	}
+	ns.acks = append(ns.acks, ackEntry{popupID: p.id, hopIdx: len(p.path) - 1, ready: cycle + 1})
+}
+
+func (u *UPP) moveAcks(node topology.NodeID, cycle sim.Cycle) {
+	ns := &u.nodes[node]
+	if len(ns.acks) == 0 {
+		return
+	}
+	kept := ns.acks[:0]
+	for _, a := range ns.acks {
+		if a.ready > cycle || !u.moveAck(node, a, cycle) {
+			kept = append(kept, a)
+		}
+	}
+	ns.acks = kept
+}
+
+// moveAck advances one ack a single reverse hop; it reports whether the
+// ack left this router.
+func (u *UPP) moveAck(node topology.NodeID, a ackEntry, cycle sim.Cycle) bool {
+	p := u.popups[a.popupID]
+	if p == nil {
+		panic("upp: buffered ack for retired popup")
+	}
+	h := &p.path[a.hopIdx]
+	r := u.net.Router(node)
+	// The ack leaves through the port its req arrived on — the recorded
+	// reverse path (Sec. V-B2).
+	if r.OutputClaimed(h.inPort) {
+		return false
+	}
+	if a.hopIdx == 1 {
+		// Next stop is the origin interposer router: process on arrival.
+		r.ClaimOutput(h.inPort)
+		r.SendDirect(h.inPort)
+		u.net.Stats.SignalsSent++
+		id := a.popupID
+		u.net.Schedule(cycle+1+u.linkLat(), func(arrival sim.Cycle) {
+			u.ackAtOrigin(id, arrival)
+		})
+		return true
+	}
+	prev := &u.nodes[p.path[a.hopIdx-1].node]
+	if len(prev.acks)+prev.ackRes >= message.NumVNets {
+		return false
+	}
+	r.ClaimOutput(h.inPort)
+	r.SendDirect(h.inPort)
+	u.net.Stats.SignalsSent++
+	prev.ackRes++
+	id, hopIdx := a.popupID, a.hopIdx-1
+	u.net.Schedule(cycle+1+u.linkLat(), func(arrival sim.Cycle) {
+		pp := u.popups[id]
+		if pp == nil {
+			panic("upp: ack arrival for retired popup")
+		}
+		pn := &u.nodes[pp.path[hopIdx].node]
+		pn.ackRes--
+		pn.acks = append(pn.acks, ackEntry{popupID: id, hopIdx: hopIdx, ready: arrival + 1})
+	})
+	return true
+}
+
+// ackAtOrigin processes the UPP_ack reaching the origin interposer router:
+// start the popup drain, or discard the ack if the popup was cancelled
+// meanwhile (Sec. V-B1, third rule).
+func (u *UPP) ackAtOrigin(popupID uint64, cycle sim.Cycle) {
+	p := u.popups[popupID]
+	if p == nil {
+		panic("upp: origin ack for retired popup")
+	}
+	if p.cancelled {
+		p.ackDone = true
+		u.finishCancelled(p)
+		return
+	}
+	r := u.net.Router(p.origin)
+	vc := r.VCAt(p.port, p.vcIdx)
+	if f, _, ok := vc.Front(); !ok || f.Pkt != p.pkt {
+		// The packet slipped away in the same cycle the ack landed; treat
+		// it as a late false positive: cancel and recycle the reservation.
+		p.cancelled = true
+		p.ackDone = true
+		p.stopPending = true
+		u.net.Stats.PopupsCancelled++
+		return
+	}
+	p.stage = stageDrain
+	p.drainStart = cycle
+	p.pkt.Popup = true
+	p.pkt.PopupID = p.id
+	vc.Hold = true
+	u.net.Stats.PopupsStarted++
+	u.net.Trace("upp", p.origin, "popup %d: UPP_ack received; draining pkt%d through the circuit", p.id, p.pkt.ID)
+}

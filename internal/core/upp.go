@@ -1,0 +1,544 @@
+// Package core implements UPP — Upward Packet Popup — the paper's
+// deadlock recovery framework for modular chiplet-based systems.
+//
+// UPP rests on one observation (Sec. IV-A): every integration-induced
+// deadlock contains an upward packet, permanently stalled in an interposer
+// router while trying to move up a vertical link into a chiplet. UPP
+// therefore:
+//
+//  1. detects deadlocks with a per-VNet timeout counter on each interposer
+//     router's up output port and selects one stalled upward packet per
+//     VNet with a round-robin arbiter (Sec. V-A);
+//  2. reserves an ejection-queue entry at the destination NI with a
+//     lightweight three-signal protocol — UPP_req / UPP_ack / UPP_stop —
+//     whose signals travel the normal router datapath in two dedicated
+//     32-bit buffers per chiplet router, with priority over normal flits
+//     (Sec. V-B);
+//  3. pops the packet up: the UPP_req installed a circuit through the
+//     chiplet, and the packet's flits bypass buffers along it, taking only
+//     the switch-traversal stage per hop with absolute crossbar priority
+//     (Sec. V-C).
+//
+// False positives (congestion mistaken for deadlock) are harmless: the
+// interposer router cancels with UPP_stop if the packet proceeds normally
+// before the ack returns, and a popup of a merely-congested packet just
+// uses bandwidth that was idle anyway (Sec. V-A).
+//
+// Concurrent popups of the same VNet into the same chiplet are serialized
+// with a per-(chiplet, VNet) token — the interposer-router coordination
+// option of Sec. V-B5; popups of different VNets proceed concurrently.
+package core
+
+import (
+	"fmt"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/network"
+	"uppnoc/internal/router"
+	"uppnoc/internal/routing"
+	"uppnoc/internal/sim"
+	"uppnoc/internal/topology"
+)
+
+// Config parameterizes UPP.
+type Config struct {
+	// Threshold is the timeout in cycles before an idle-but-wanted up port
+	// is declared deadlocked (Table II: 20; Fig. 13 sweeps 20/100/1000).
+	Threshold int
+	// SignalGap is the minimum spacing between consecutive protocol
+	// signals sent by one interposer router
+	// (Size_of_Data_Packet + 1, Sec. V-B5).
+	SignalGap int
+	// Policy overrides the egress-boundary selection (nil = the paper's
+	// static closest-boundary binding). The ablation experiments swap in
+	// the alternatives of Sec. V-D's design discussion.
+	Policy routing.BoundaryPolicy
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{Threshold: 20, SignalGap: message.DataPacketFlits + 1}
+}
+
+// stage of a popup instance.
+type popupStage uint8
+
+const (
+	// stageReq: packet selected; UPP_req queued/in flight; waiting for the
+	// ack.
+	stageReq popupStage = iota
+	// stageDrain: ack received at the origin; the packet is being popped
+	// up through the circuit.
+	stageDrain
+)
+
+// hop is one step of a popup's path from the origin interposer router
+// (index 0) to the destination chiplet router (last index).
+type hop struct {
+	node    topology.NodeID
+	inPort  topology.PortID // port the UPP_req arrives on (invalid at origin)
+	outPort topology.PortID // port it leaves by (Local at the destination)
+}
+
+// popup is one recovery instance.
+type popup struct {
+	id     uint64
+	vnet   message.VNet
+	origin topology.NodeID
+	pkt    *message.Packet
+	// Tracked VC at the origin interposer router.
+	port     topology.PortID
+	vcIdx    int
+	frontSeq int32
+	path     []hop
+
+	stage      popupStage
+	drainStart sim.Cycle
+
+	reqSent        bool
+	cancelled      bool
+	stopPending    bool
+	stopDelivered  bool
+	ackLaunched    bool
+	ackDone        bool
+	tailLeftOrigin bool
+}
+
+// circuitEntry is a chiplet router's per-VNet crossbar connection record,
+// installed by a passing UPP_req and used by the ack's reverse path and
+// the upward flits (Fig. 6's chiplet-router table).
+type circuitEntry struct {
+	active  bool
+	popupID uint64
+	inPort  topology.PortID
+	outPort topology.PortID
+	// vcIdx is the VC of inPort observed to hold the popup packet's flits
+	// (-1 until seen); released marks that the VC was force-released after
+	// the packet diverted past it.
+	vcIdx    int8
+	released bool
+}
+
+// sigKind distinguishes latch occupants.
+type sigKind uint8
+
+const (
+	sigReq sigKind = iota
+	sigStop
+)
+
+// reqStopLatch is the single-signal UPP_req/UPP_stop buffer of a chiplet
+// router (one 32-bit buffer, Sec. V-B2).
+type reqStopLatch struct {
+	valid    bool
+	reserved bool // an in-flight signal will land here
+	kind     sigKind
+	popupID  uint64
+	hopIdx   int
+	ready    sim.Cycle
+}
+
+// ackEntry is one UPP_ack in a chiplet router's ack buffer. The buffer
+// holds up to one ack per VNet (the paper merges concurrent acks by ORing
+// their one-hot VNet fields into the same 32-bit buffer).
+type ackEntry struct {
+	popupID uint64
+	hopIdx  int
+	ready   sim.Cycle
+}
+
+// flitLatch is the per-VNet circuit-switching latch a popup flit occupies
+// between switch traversals.
+type flitLatch struct {
+	valid    bool
+	reserved bool
+	flit     message.Flit
+	ready    sim.Cycle
+}
+
+// nodeState is the per-router UPP state (both roles; unused fields stay
+// zero).
+type nodeState struct {
+	// Interposer-router side (Fig. 6 middle).
+	counters   [message.NumVNets]int32
+	entry      [message.NumVNets]*popup
+	rr         [message.NumVNets]int
+	nextSignal sim.Cycle
+
+	// Chiplet-router side (Fig. 6 top).
+	circuit    [message.NumVNets]circuitEntry
+	reqStop    reqStopLatch
+	acks       []ackEntry
+	ackRes     int // reserved incoming acks
+	popupLatch [message.NumVNets]flitLatch
+}
+
+// UPP is the scheme. Create with New and pass to network.New.
+type UPP struct {
+	network.BaseScheme
+	cfg Config
+
+	net    *network.Network
+	nodes  []nodeState
+	tokens [][message.NumVNets]uint64 // holder popup ID per (chiplet, vnet); 0 = free
+	popups map[uint64]*popup
+	nextID uint64
+}
+
+// New returns a UPP scheme instance.
+func New(cfg Config) *UPP {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 20
+	}
+	if cfg.SignalGap <= 0 {
+		cfg.SignalGap = message.DataPacketFlits + 1
+	}
+	return &UPP{cfg: cfg, popups: make(map[uint64]*popup)}
+}
+
+// Name implements network.Scheme.
+func (u *UPP) Name() string { return "upp" }
+
+// Policy implements network.Scheme — UPP uses the static binding unless
+// an ablation policy was configured.
+func (u *UPP) Policy() routing.BoundaryPolicy {
+	if u.cfg.Policy != nil {
+		return u.cfg.Policy
+	}
+	return routing.DefaultPolicy{}
+}
+
+// Attach implements network.Scheme.
+func (u *UPP) Attach(n *network.Network) {
+	u.net = n
+	u.nodes = make([]nodeState, n.Topo.NumNodes())
+	u.tokens = make([][message.NumVNets]uint64, len(n.Topo.Chiplets))
+	for i := range u.nodes {
+		ns := &u.nodes[i]
+		for v := range ns.circuit {
+			ns.circuit[v].vcIdx = -1
+		}
+	}
+}
+
+// ActivePopups returns the number of in-flight popup instances (tests).
+func (u *UPP) ActivePopups() int { return len(u.popups) }
+
+// linkLat returns the configured link latency.
+func (u *UPP) linkLat() sim.Cycle { return sim.Cycle(u.net.Cfg.Router.LinkLatency) }
+
+// StartOfCycle implements network.Scheme: popup flits move first (highest
+// crossbar priority, Sec. V-C1), then protocol signals, then pending
+// req/stop transmissions from interposer routers.
+func (u *UPP) StartOfCycle(cycle sim.Cycle) {
+	for _, p := range u.sortedPopups() {
+		if p.stage == stageDrain {
+			u.drain(p, cycle)
+		}
+	}
+	u.moveSignals(cycle)
+	u.sendOriginSignals(cycle)
+}
+
+// EndOfCycle implements network.Scheme: timeout counters, upward-packet
+// selection and false-positive cancellation.
+func (u *UPP) EndOfCycle(cycle sim.Cycle) {
+	u.detect(cycle)
+	u.checkProceeded(cycle)
+}
+
+// sortedPopups returns active popups in deterministic (id) order.
+func (u *UPP) sortedPopups() []*popup {
+	if len(u.popups) == 0 {
+		return nil
+	}
+	ps := make([]*popup, 0, len(u.popups))
+	for _, p := range u.popups {
+		ps = append(ps, p)
+	}
+	// Insertion sort: the set is tiny.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j-1].id > ps[j].id; j-- {
+			ps[j-1], ps[j] = ps[j], ps[j-1]
+		}
+	}
+	return ps
+}
+
+// --- Detection (Sec. V-A) ---------------------------------------------------
+
+func (u *UPP) detect(cycle sim.Cycle) {
+	topo := u.net.Topo
+	for _, id := range topo.Interposer {
+		node := topo.Node(id)
+		if node.PortTo(topology.Up) == topology.InvalidPort {
+			continue // no vertical link: never hosts an upward packet
+		}
+		r := u.net.Router(id)
+		ns := &u.nodes[id]
+		upMask := r.UpSentMask()
+		for v := 0; v < message.NumVNets; v++ {
+			vnet := message.VNet(v)
+			if ns.entry[v] != nil {
+				// One popup per VNet per interposer router (Sec. V-A);
+				// counting pauses while one is in flight.
+				continue
+			}
+			if upMask&(1<<uint(v)) != 0 {
+				ns.counters[v] = 0
+				continue
+			}
+			port, vcIdx, f := u.findStalledUpward(r, vnet, ns.rr[v], cycle)
+			if port == topology.InvalidPort {
+				ns.counters[v] = 0
+				continue
+			}
+			ns.counters[v]++
+			if int(ns.counters[v]) < u.cfg.Threshold {
+				continue
+			}
+			// Deadlock declared: serialize with the per-(chiplet, VNet)
+			// popup token before selecting.
+			chiplet := topo.Node(f.Pkt.Dst).Chiplet
+			if u.tokens[chiplet][v] != 0 {
+				continue // token busy; retry next cycle
+			}
+			u.startPopup(r, ns, vnet, port, vcIdx, f, cycle)
+		}
+	}
+}
+
+// findStalledUpward scans r's input VCs round-robin for a stalled packet
+// whose next hop is an Up port, returning its location and front flit.
+func (u *UPP) findStalledUpward(r *router.Router, vnet message.VNet, rrStart int, cycle sim.Cycle) (topology.PortID, int, message.Flit) {
+	nports := len(r.Node.Ports)
+	nvc := r.Cfg.NumVCs()
+	total := nports * nvc
+	for k := 1; k <= total; k++ {
+		idx := (rrStart + k) % total
+		port := topology.PortID(idx / nvc)
+		vcIdx := idx % nvc
+		if r.Cfg.VCVNet(vcIdx) != vnet {
+			continue
+		}
+		vc := r.VCAt(port, vcIdx)
+		if vc.Hold || vc.State == router.VCIdle {
+			continue
+		}
+		if vc.OutPort == topology.InvalidPort || r.Node.Ports[vc.OutPort].Dir != topology.Up {
+			continue
+		}
+		f, ok := vc.FrontReady(cycle)
+		if !ok || f.Pkt.Popup {
+			continue
+		}
+		return port, vcIdx, f
+	}
+	return topology.InvalidPort, -1, message.Flit{}
+}
+
+// startPopup creates a popup instance for the selected upward packet and
+// queues its UPP_req. It may decline (returning without creating one)
+// when the packet's route is momentarily unsettled — the counter stays
+// above threshold and selection retries next cycle.
+func (u *UPP) startPopup(r *router.Router, ns *nodeState, vnet message.VNet, port topology.PortID, vcIdx int, f message.Flit, cycle sim.Cycle) {
+	path, settled, err := u.chasePath(r, port, vcIdx, f.Pkt)
+	if err != nil {
+		panic(fmt.Sprintf("upp: path for popup of pkt %d: %v", f.Pkt.ID, err))
+	}
+	if !settled {
+		return
+	}
+	u.nextID++
+	p := &popup{
+		id:       u.nextID,
+		vnet:     vnet,
+		origin:   r.ID,
+		pkt:      f.Pkt,
+		port:     port,
+		vcIdx:    vcIdx,
+		frontSeq: f.Seq,
+		path:     path,
+		stage:    stageReq,
+	}
+	ns.entry[vnet] = p
+	ns.rr[vnet] = int(port)*r.Cfg.NumVCs() + vcIdx
+	chiplet := u.net.Topo.Node(f.Pkt.Dst).Chiplet
+	u.tokens[chiplet][vnet] = p.id
+	u.popups[p.id] = p
+	u.net.Stats.UpwardPackets++
+	u.net.Trace("upp", r.ID, "popup %d: selected upward pkt%d (%s) toward %d",
+		p.id, f.Pkt.ID, vnet, f.Pkt.Dst)
+}
+
+// chasePath builds the popup path the way the paper's UPP_req does
+// (Sec. V-B3): it follows the upward packet's own VC allocation chain —
+// the route its transmitted flits actually took, whatever the local
+// routing algorithm chose — until the head flit's position, then extends
+// with route computation for the untransmitted remainder. The UPP_req,
+// the reversed UPP_ack and the upward flits all use this path.
+//
+// settled is false when the chain is momentarily indeterminate (a head in
+// flight or not yet route-computed); the caller retries next cycle — a
+// genuinely deadlocked packet settles and stays settled.
+func (u *UPP) chasePath(r *router.Router, port topology.PortID, vcIdx int, pkt *message.Packet) (path []hop, settled bool, err error) {
+	topo := u.net.Topo
+	tracked := r.VCAt(port, vcIdx)
+	path = []hop{{node: r.ID, inPort: topology.InvalidPort, outPort: tracked.OutPort}}
+	cur, curIn := r.Neighbor(tracked.OutPort)
+	curVC := tracked.OutVC // -1 when the packet is Waiting (nothing transmitted)
+
+	// Phase 1: follow the allocation chain through the chiplet.
+	for curVC >= 0 {
+		if len(path) > topo.NumNodes() {
+			return nil, false, fmt.Errorf("allocation chain loop from %d to %d", r.ID, pkt.Dst)
+		}
+		rr := u.net.Router(cur)
+		vc := rr.VCAt(curIn, int(curVC))
+		if vc.OutPort == topology.InvalidPort {
+			// The head sits here un-routed (or is still in flight): the
+			// chain is not settled yet.
+			return nil, false, nil
+		}
+		if f, _, ok := vc.Front(); ok && f.Pkt != pkt {
+			// The VC has moved on to another packet mid-chase — the
+			// tracked packet advanced; treat as unsettled (the proceeded
+			// check will cancel if it fully moved).
+			return nil, false, nil
+		}
+		path = append(path, hop{node: cur, inPort: curIn, outPort: vc.OutPort})
+		if vc.OutPort == topology.LocalPort {
+			if cur != pkt.Dst {
+				return nil, false, fmt.Errorf("allocation chain ejects at %d, dst %d", cur, pkt.Dst)
+			}
+			return path, true, nil
+		}
+		next, nextIn := rr.Neighbor(vc.OutPort)
+		nextVC := vc.OutVC
+		cur, curIn, curVC = next, nextIn, nextVC
+	}
+
+	// Phase 2: the remainder was never transmitted; extend with route
+	// computation (a pseudo-packet keeps per-packet routing state, e.g.
+	// up*/down* phase or odd-even entry column, off the real packet).
+	pseudo := &message.Packet{
+		ID:                pkt.ID,
+		Src:               pkt.Src,
+		Dst:               pkt.Dst,
+		VNet:              pkt.VNet,
+		IngressInterposer: pkt.IngressInterposer,
+		EgressBoundary:    pkt.EgressBoundary,
+		RouteLayer:        int16(topology.InterposerChiplet),
+		LayerEntryX:       int16(topo.Node(r.ID).X),
+	}
+	for i := 0; ; i++ {
+		if i > topo.NumNodes() {
+			return nil, false, fmt.Errorf("routing loop from %d to %d", r.ID, pkt.Dst)
+		}
+		out, rerr := u.net.Route(cur, curIn, pseudo)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		path = append(path, hop{node: cur, inPort: curIn, outPort: out})
+		if out == topology.LocalPort {
+			if cur != pkt.Dst {
+				return nil, false, fmt.Errorf("route to %d ejects early at %d", pkt.Dst, cur)
+			}
+			return path, true, nil
+		}
+		node := topo.Node(cur)
+		cur, curIn = node.Ports[out].Neighbor, node.Ports[out].NeighborPort
+	}
+}
+
+// checkProceeded cancels popups whose packet moved on normally before the
+// ack returned — the false-positive path (Sec. V-B1, third rule).
+func (u *UPP) checkProceeded(cycle sim.Cycle) {
+	for _, p := range u.sortedPopups() {
+		if p.stage != stageReq || p.cancelled {
+			continue
+		}
+		r := u.net.Router(p.origin)
+		vc := r.VCAt(p.port, p.vcIdx)
+		f, _, ok := vc.Front()
+		if ok && f.Pkt == p.pkt && f.Seq == p.frontSeq {
+			continue // still stalled
+		}
+		p.cancelled = true
+		u.net.Stats.PopupsCancelled++
+		u.net.Trace("upp", p.origin, "popup %d: pkt%d proceeded normally; cancelling", p.id, p.pkt.ID)
+		if !p.reqSent {
+			// The req never left; nothing to clean up remotely.
+			u.finishCancelled(p)
+			continue
+		}
+		p.stopPending = true
+	}
+}
+
+// finishCancelled releases everything held by a cancelled popup once no
+// signal of it remains in flight. The token (and hence the right of a new
+// popup to install circuits on this path) is only released after the stop
+// has swept the path clean.
+func (u *UPP) finishCancelled(p *popup) {
+	if p.reqSent && !p.stopDelivered {
+		return // the stop still has to clean circuits and the reservation
+	}
+	u.releaseOrigin(p)
+	if p.ackLaunched && !p.ackDone {
+		return // wait for the ack to come home and be discarded
+	}
+	delete(u.popups, p.id)
+}
+
+// releaseOrigin frees the origin entry and the chiplet/VNet token.
+func (u *UPP) releaseOrigin(p *popup) {
+	ns := &u.nodes[p.origin]
+	if ns.entry[p.vnet] == p {
+		ns.entry[p.vnet] = nil
+		ns.counters[p.vnet] = 0
+	}
+	chiplet := u.net.Topo.Node(p.pkt.Dst).Chiplet
+	if u.tokens[chiplet][p.vnet] == p.id {
+		u.tokens[chiplet][p.vnet] = 0
+	}
+}
+
+// OnPacketEjected implements network.Scheme: a fully ejected popup packet
+// completes its recovery.
+func (u *UPP) OnPacketEjected(_ *network.NI, pkt *message.Packet, cycle sim.Cycle) {
+	if !pkt.Popup {
+		return
+	}
+	p := u.popups[pkt.PopupID]
+	if p == nil || p.pkt != pkt {
+		return
+	}
+	u.completePopup(p, cycle)
+}
+
+// completePopup tears down circuit state, releases stranded VCs, frees the
+// token and retires the popup.
+func (u *UPP) completePopup(p *popup, cycle sim.Cycle) {
+	for i := 1; i < len(p.path); i++ {
+		h := &p.path[i]
+		ns := &u.nodes[h.node]
+		ce := &ns.circuit[p.vnet]
+		if ce.active && ce.popupID == p.id {
+			if ce.vcIdx >= 0 && !ce.released {
+				// The packet diverted past this VC (its tail traveled by
+				// latch); free the upstream allocation it still holds.
+				r := u.net.Router(h.node)
+				if vc := r.VCAt(h.inPort, int(ce.vcIdx)); vc.Empty() {
+					r.ForceReleaseVC(h.inPort, int(ce.vcIdx), cycle)
+				}
+			}
+			*ce = circuitEntry{vcIdx: -1}
+		}
+	}
+	p.pkt.Popup = false
+	u.releaseOrigin(p)
+	delete(u.popups, p.id)
+	u.net.Stats.PopupsCompleted++
+	u.net.Trace("upp", p.pkt.Dst, "popup %d: pkt%d fully ejected; recovery complete", p.id, p.pkt.ID)
+}

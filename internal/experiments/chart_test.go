@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiChart(t *testing.T) {
+	curves := []Curve{
+		{Label: "composable", Points: []Point{{Rate: 0.01, TotalLat: 26}, {Rate: 0.05, TotalLat: 40}, {Rate: 0.08, TotalLat: 300, Saturated: true}}},
+		{Label: "upp", Points: []Point{{Rate: 0.01, TotalLat: 23}, {Rate: 0.05, TotalLat: 30}, {Rate: 0.08, TotalLat: 45}}},
+	}
+	out := AsciiChart("demo", curves, "CU")
+	if !strings.Contains(out, "C=composable") || !strings.Contains(out, "U=upp") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "C") || !strings.Contains(out, "U") {
+		t.Fatalf("no data points plotted:\n%s", out)
+	}
+	if !strings.Contains(out, "0.010") || !strings.Contains(out, "0.080") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	if AsciiChart("empty", nil, "") != "" {
+		t.Fatal("empty chart should render empty")
+	}
+	t.Log("\n" + out)
+}

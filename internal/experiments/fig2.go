@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"uppnoc/internal/composable"
+	"uppnoc/internal/topology"
+)
+
+// Fig2 reproduces the spirit of the paper's Fig. 2(a): the unidirectional
+// turn restrictions the composable-routing design-time search places on
+// each chiplet's boundary routers. (The exact set differs from the paper's
+// illustration — the search is a heuristic — but the character matches:
+// a handful of vertical-link turns forbidden per chiplet, which is what
+// costs composable routing its path diversity.)
+func Fig2(progress Progress) ([]Table, error) {
+	t := Table{
+		ID:     "fig2",
+		Title:  "Composable routing: boundary-router turn restrictions found by the design-time search",
+		Header: []string{"chiplet", "boundary_router", "restricted_turn"},
+	}
+	topo := topology.MustBuild(topology.BaselineConfig())
+	progress.log("fig2: running the restriction search")
+	tb, err := composable.BuildTables(topo)
+	if err != nil {
+		return nil, err
+	}
+	for _, turn := range tb.Restrictions {
+		n := topo.Node(turn.Node)
+		t.AddRow(
+			fmt.Sprintf("%d", n.Chiplet),
+			fmt.Sprintf("%d (%d,%d)", turn.Node, n.X, n.Y),
+			fmt.Sprintf("%s -> %s", n.Ports[turn.In].Dir, n.Ports[turn.Out].Dir),
+		)
+	}
+	t.Notes = []string{
+		fmt.Sprintf("%d unidirectional restrictions placed (the paper's illustration shows 8 per chiplet pattern)", len(tb.Restrictions)),
+		"every restriction sits on a boundary router — the modularity requirement of composable routing",
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+// TestGoldenShapes pins the evaluation's qualitative shapes with loose
+// numeric bounds, so a refactor that silently breaks a scheme's relative
+// performance fails here rather than in a full figures run.
+func TestGoldenShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	dur := Durations{Warmup: 2000, Measure: 10000}
+	point := func(sch SchemeName, rate float64) Point {
+		t.Helper()
+		pt, err := Run(RunSpec{
+			Topo:       topology.BaselineConfig(),
+			Scheme:     sch,
+			VCsPerVNet: 1,
+			Pattern:    traffic.UniformRandom{},
+			Rate:       rate,
+			Seed:       11,
+			Dur:        dur,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+
+	// Low-load latency ordering: UPP < composable < remote control is not
+	// required (composable vs RC order varies), but UPP must be strictly
+	// lowest and all three must accept the offered load.
+	low := map[SchemeName]Point{}
+	for _, sch := range ComparedSchemes() {
+		pt := point(sch, 0.02)
+		low[sch] = pt
+		if pt.Saturated {
+			t.Fatalf("%s saturated at 0.02 flits/cycle/node", sch)
+		}
+		if pt.Throughput < 0.018 {
+			t.Fatalf("%s accepted only %.4f of 0.02", sch, pt.Throughput)
+		}
+	}
+	upp := low[SchemeUPP].TotalLat
+	for _, sch := range []SchemeName{SchemeComposable, SchemeRemoteControl} {
+		if upp >= low[sch].TotalLat {
+			t.Fatalf("UPP latency %.1f not below %s's %.1f", upp, sch, low[sch].TotalLat)
+		}
+	}
+	// Sanity window for the absolute zero-load latency (pipeline bug
+	// canary): ~8 avg hops x 3 cycles + serialization.
+	if upp < 15 || upp > 35 {
+		t.Fatalf("UPP low-load latency %.1f outside the plausible window", upp)
+	}
+
+	// Mid-load: composable must be past (or near) its knee while UPP is
+	// comfortable — the saturation-gap shape of Fig. 7.
+	compMid := point(SchemeComposable, 0.07)
+	uppMid := point(SchemeUPP, 0.07)
+	if uppMid.Saturated {
+		t.Fatalf("UPP saturated at 0.07 (lat %.1f)", uppMid.TotalLat)
+	}
+	if compMid.TotalLat < uppMid.TotalLat*1.3 {
+		t.Fatalf("composable@0.07 latency %.1f should be well above UPP's %.1f", compMid.TotalLat, uppMid.TotalLat)
+	}
+
+	// UPP must survive far past every scheme's knee (recovery, not
+	// avoidance, keeps it live).
+	deep := point(SchemeUPP, 0.15)
+	if deep.Throughput < 0.05 {
+		t.Fatalf("UPP accepted throughput collapsed at overload: %.4f", deep.Throughput)
+	}
+}

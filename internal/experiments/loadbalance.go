@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+// LoadBalance measures the vertical-link (chiplet egress) utilization per
+// scheme — the quantitative form of Sec. III-B's argument that composable
+// routing's turn restrictions unbalance the boundary routers while UPP's
+// static binding spreads the load. Imbalance is max/mean flits per
+// down-link within each chiplet, averaged over chiplets; 1.0 is perfect
+// balance.
+func LoadBalance(dur Durations, progress Progress) ([]Table, error) {
+	t := Table{
+		ID:     "load_balance",
+		Title:  "Vertical-link load balance per scheme (uniform random, sub-saturation)",
+		Header: []string{"scheme", "vcs", "total_down_flits", "imbalance_max_over_mean", "busiest_link_share"},
+		Notes: []string{
+			"paper Sec. III-B: composable routing concentrates inter-chiplet traffic on few boundary routers; UPP and remote control balance it",
+		},
+	}
+	detail := Table{
+		ID:     "load_balance_detail",
+		Title:  "Per-boundary-router down-link flits",
+		Header: []string{"scheme", "chiplet", "boundary_router", "down_flits"},
+	}
+	for _, vcs := range []int{1} {
+		for _, sch := range ComparedSchemes() {
+			progress.log("load_balance: %s", sch)
+			topo, err := topology.Build(topology.BaselineConfig())
+			if err != nil {
+				return nil, err
+			}
+			scheme, err := cachedScheme(topology.BaselineConfig(), sch)(topo)
+			if err != nil {
+				return nil, err
+			}
+			cfg := network.DefaultConfig()
+			cfg.Router.VCsPerVNet = vcs
+			cfg.Seed = 5
+			n, err := network.New(topo, cfg, scheme)
+			if err != nil {
+				return nil, err
+			}
+			g := traffic.NewGenerator(n, traffic.UniformRandom{}, 0.04, 5)
+			g.Run(dur.Warmup + dur.Measure)
+
+			var total uint64
+			var imbalanceSum float64
+			var worstShare float64
+			for _, ch := range topo.Chiplets {
+				var counts []uint64
+				var chTotal, chMax uint64
+				for _, b := range ch.Boundary {
+					r := n.Router(b)
+					down := topo.Node(b).PortTo(topology.Down)
+					c := r.PortSent[down]
+					counts = append(counts, c)
+					chTotal += c
+					if c > chMax {
+						chMax = c
+					}
+					detail.AddRowf(string(sch), ch.Index, b, c)
+				}
+				total += chTotal
+				if chTotal > 0 {
+					mean := float64(chTotal) / float64(len(counts))
+					imbalanceSum += float64(chMax) / mean
+					if share := float64(chMax) / float64(chTotal); share > worstShare {
+						worstShare = share
+					}
+				}
+			}
+			imbalance := imbalanceSum / float64(len(topo.Chiplets))
+			if math.IsNaN(imbalance) {
+				imbalance = 0
+			}
+			t.AddRowf(string(sch), vcs, total,
+				fmt.Sprintf("%.2f", imbalance), fmt.Sprintf("%.0f%%", 100*worstShare))
+		}
+	}
+	return []Table{t, detail}, nil
+}

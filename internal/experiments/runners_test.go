@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// microDur keeps runner smoke tests fast; the figures binary runs real
+// durations. Curve shapes are meaningless at this scale — these tests
+// check wiring, not physics.
+var microDur = Durations{Warmup: 300, Measure: 1200}
+
+func requireTables(t *testing.T, ts []Table, err error, want ...string) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, tb := range ts {
+		got[tb.ID] = true
+		if len(tb.Header) == 0 {
+			t.Fatalf("table %s has no header", tb.ID)
+		}
+		if len(tb.Rows) == 0 && !strings.HasSuffix(tb.ID, "_charts") {
+			t.Fatalf("table %s has no rows", tb.ID)
+		}
+		// Render and CSV must not panic and must carry the ID.
+		if !strings.Contains(tb.Render(), tb.ID) {
+			t.Fatalf("render of %s missing its ID", tb.ID)
+		}
+		_ = tb.CSV()
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Fatalf("missing table %s (got %v)", id, keysOf(got))
+		}
+	}
+}
+
+func keysOf(m map[string]bool) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func TestFig7RunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second smoke")
+	}
+	ts, err := Fig7(microDur, nil)
+	requireTables(t, ts, err, "fig7", "fig7_summary", "fig7_charts")
+}
+
+func TestFig9RunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second smoke")
+	}
+	ts, err := Fig9(microDur, nil)
+	requireTables(t, ts, err, "fig9", "fig9_summary")
+}
+
+func TestFig10RunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second smoke")
+	}
+	ts, err := Fig10(microDur, nil)
+	requireTables(t, ts, err, "fig10")
+}
+
+func TestFig11RunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second smoke")
+	}
+	ts, err := Fig11(microDur, nil)
+	requireTables(t, ts, err, "fig11", "fig11_summary")
+}
+
+func TestFig13RunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second smoke")
+	}
+	ts, err := Fig13(microDur, nil)
+	requireTables(t, ts, err, "fig13", "fig13_summary")
+}
+
+func TestFig2RunnerSmoke(t *testing.T) {
+	ts, err := Fig2(nil)
+	requireTables(t, ts, err, "fig2")
+}
+
+func TestLoadBalanceRunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second smoke")
+	}
+	ts, err := LoadBalance(microDur, nil)
+	requireTables(t, ts, err, "load_balance", "load_balance_detail")
+}
+
+func TestTailLatencyRunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second smoke")
+	}
+	ts, err := TailLatency(microDur, nil)
+	requireTables(t, ts, err, "tail_latency")
+}
+
+func TestAblationRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second smoke")
+	}
+	ts, err := AblationBufferDepth(microDur, nil)
+	requireTables(t, ts, err, "ablation_depth")
+	ts, err = AblationSignalGap(microDur, nil)
+	requireTables(t, ts, err, "ablation_gap")
+}
+
+func TestFullSystemRunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second smoke")
+	}
+	ts, err := FullSystemSubset([]string{"blackscholes"}, 0.02, nil)
+	requireTables(t, ts, err, "fig8", "fig12", "fig15")
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"uppnoc/internal/message"
+
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+// RunSpec describes one simulation point.
+type RunSpec struct {
+	Topo      topology.SystemConfig
+	Faults    int
+	FaultSeed uint64
+	Scheme    SchemeName
+	// SchemeOverride, when non-nil, is used instead of Scheme (threshold
+	// sweeps).
+	SchemeOverride func(t *topology.Topology) (network.Scheme, error)
+	VCsPerVNet     int
+	// BufferDepth overrides the per-VC buffer depth when > 0 (ablation).
+	BufferDepth int
+	Pattern     traffic.Pattern
+	Rate        float64 // flits/cycle/node offered
+	Seed        uint64
+	Dur         Durations
+	UseUpDown   bool
+	// Adaptive selects odd-even minimal-adaptive local routing.
+	Adaptive bool
+	// VCT selects virtual cut-through flow control (forces BufferDepth to
+	// hold a whole data packet when unset).
+	VCT bool
+	// TraceLimit, when > 0, prints the first N simulator events to
+	// stderr.
+	TraceLimit int
+}
+
+// Point is the measured outcome of one run.
+type Point struct {
+	Rate       float64
+	NetLat     float64
+	QueueLat   float64
+	TotalLat   float64
+	Throughput float64 // accepted flits/cycle/node
+	// Latency percentiles over the measurement window (total latency).
+	LatP50, LatP99, LatMax uint64
+	Packets                uint64 // packets delivered in the measurement window
+	Upward                 uint64
+	Popups                 uint64
+	Signals                uint64
+	Saturated              bool
+}
+
+// latencyCap marks a run as saturated when average total latency exceeds
+// it (the paper's Fig. 7 y-axis tops out at 100 cycles).
+const latencyCap = 100.0
+
+// Run executes one simulation point.
+func Run(spec RunSpec) (Point, error) {
+	topo, err := topology.Build(spec.Topo)
+	if err != nil {
+		return Point{}, err
+	}
+	if spec.Faults > 0 {
+		if _, err := topo.InjectFaults(spec.Faults, spec.FaultSeed); err != nil {
+			return Point{}, err
+		}
+	}
+	var scheme network.Scheme
+	switch {
+	case spec.SchemeOverride != nil:
+		scheme, err = spec.SchemeOverride(topo)
+	case spec.Faults == 0:
+		// Cacheable: composable's design-time search is reused across
+		// runs of the same configuration.
+		scheme, err = cachedScheme(spec.Topo, spec.Scheme)(topo)
+	default:
+		scheme, err = MakeScheme(spec.Scheme, topo)
+	}
+	if err != nil {
+		return Point{}, err
+	}
+	cfg := network.DefaultConfig()
+	if spec.VCsPerVNet > 0 {
+		cfg.Router.VCsPerVNet = spec.VCsPerVNet
+	}
+	if spec.BufferDepth > 0 {
+		cfg.Router.BufferDepth = spec.BufferDepth
+	}
+	if spec.VCT {
+		cfg.Router.VCT = true
+		if cfg.Router.BufferDepth < message.DataPacketFlits {
+			cfg.Router.BufferDepth = message.DataPacketFlits
+		}
+	}
+	cfg.Seed = spec.Seed + 1
+	cfg.UseUpDown = spec.UseUpDown || spec.Faults > 0
+	cfg.Adaptive = spec.Adaptive
+	n, err := network.New(topo, cfg, scheme)
+	if err != nil {
+		return Point{}, err
+	}
+	if spec.TraceLimit > 0 {
+		n.SetTracer(network.WriteTracer(os.Stderr, spec.TraceLimit))
+	}
+	g := traffic.NewGenerator(n, spec.Pattern, spec.Rate, spec.Seed+7777)
+	g.Run(spec.Dur.Warmup)
+	n.ResetMeasurement()
+	g.Run(spec.Dur.Measure)
+	p := Point{
+		Rate:       spec.Rate,
+		NetLat:     n.AvgNetLatency(),
+		QueueLat:   n.AvgQueueLatency(),
+		TotalLat:   n.AvgTotalLatency(),
+		Throughput: n.Throughput(),
+		LatP50:     n.LatencyPercentile(0.50),
+		LatP99:     n.LatencyPercentile(0.99),
+		LatMax:     n.MaxLatency(),
+		Packets:    n.Stats.MeasuredPackets,
+		Upward:     n.Stats.UpwardPackets,
+		Popups:     n.Stats.PopupsCompleted,
+		Signals:    n.Stats.SignalsSent,
+	}
+	p.Saturated = p.TotalLat > latencyCap || p.TotalLat == 0
+	return p, nil
+}
+
+// Curve is a latency-vs-injection-rate series for one configuration.
+type Curve struct {
+	Label  string
+	Points []Point
+	// SaturationRate is the highest offered rate whose measured latency
+	// stayed under the cap; SaturationThroughput is the accepted
+	// throughput there.
+	SaturationRate       float64
+	SaturationThroughput float64
+	// ZeroLoadLatency is the latency of the first (lowest-rate) point.
+	ZeroLoadLatency float64
+}
+
+// SweepRates runs spec across the given offered rates and summarizes the
+// curve. The sweep stops two points after saturation (the paper's plots
+// end shortly past the knee).
+func SweepRates(spec RunSpec, rates []float64, label string) (Curve, error) {
+	c := Curve{Label: label}
+	past := 0
+	for _, r := range rates {
+		spec.Rate = r
+		pt, err := Run(spec)
+		if err != nil {
+			return c, fmt.Errorf("sweep %s rate %.4f: %w", label, r, err)
+		}
+		c.Points = append(c.Points, pt)
+		if !pt.Saturated {
+			c.SaturationRate = pt.Rate
+			c.SaturationThroughput = pt.Throughput
+			past = 0
+		} else {
+			past++
+			if past >= 2 {
+				break
+			}
+		}
+	}
+	if len(c.Points) > 0 {
+		c.ZeroLoadLatency = c.Points[0].TotalLat
+	}
+	return c, nil
+}
+
+// DefaultRates returns the offered-load grid used by the latency figures.
+func DefaultRates() []float64 {
+	return []float64{0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.035, 0.04,
+		0.045, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10, 0.12, 0.14, 0.16, 0.18, 0.20}
+}

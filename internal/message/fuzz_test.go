@@ -1,0 +1,72 @@
+package message_test
+
+import (
+	"testing"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/topology"
+)
+
+// FuzzDecodeSignal: arbitrary 32-bit patterns either fail to decode or
+// round-trip through Encode to an equivalent wire word.
+func FuzzDecodeSignal(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	// Valid encodings as seeds.
+	req := message.Signal{Type: message.UPPReq, VNet: 1, Dst: 42, InputVC: 3}
+	if v, err := req.Encode(); err == nil {
+		f.Add(v)
+	}
+	ack := message.Signal{Type: message.UPPAck, VNet: 2, StartMask: 5}
+	if v, err := ack.Encode(); err == nil {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, raw uint32) {
+		s, err := message.DecodeSignal(raw)
+		if err != nil {
+			return // invalid patterns are rejected, never mis-decoded
+		}
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatalf("decoded signal %+v does not re-encode: %v", s, err)
+		}
+		s2, err := message.DecodeSignal(enc)
+		if err != nil {
+			t.Fatalf("re-encoded signal does not decode: %v", err)
+		}
+		if s2.Type != s.Type || s2.VNet != s.VNet || s2.Dst != s.Dst ||
+			s2.InputVC != s.InputVC || s2.StartMask != s.StartMask {
+			t.Fatalf("round trip mismatch: %+v vs %+v", s, s2)
+		}
+	})
+}
+
+// FuzzEncodeSignal: any field combination either encodes within the
+// Fig. 4 budget or errors — it never panics or overflows silently.
+func FuzzEncodeSignal(f *testing.F) {
+	f.Add(uint8(0), int8(0), int16(0), uint8(0), uint8(0))
+	f.Add(uint8(1), int8(2), int16(255), uint8(15), uint8(7))
+	f.Fuzz(func(t *testing.T, typ uint8, vnet int8, dst int16, inputVC, start uint8) {
+		s := message.Signal{
+			Type:      message.SignalType(typ % 4),
+			VNet:      message.VNet(vnet),
+			Dst:       topology.NodeID(dst),
+			InputVC:   int8(inputVC),
+			StartMask: start,
+		}
+		enc, err := s.Encode()
+		if err != nil {
+			return
+		}
+		switch s.Type {
+		case message.UPPReq, message.UPPStop:
+			if enc>>message.ReqStopEncodedBits != 0 {
+				t.Fatalf("req/stop encoding %#x overflows %d bits", enc, message.ReqStopEncodedBits)
+			}
+		case message.UPPAck:
+			if enc>>message.AckEncodedBits != 0 {
+				t.Fatalf("ack encoding %#x overflows %d bits", enc, message.AckEncodedBits)
+			}
+		}
+	})
+}

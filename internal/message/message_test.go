@@ -1,0 +1,168 @@
+package message_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/topology"
+)
+
+func TestFlitHeadTail(t *testing.T) {
+	p := &message.Packet{Size: 5}
+	for seq := int32(0); seq < 5; seq++ {
+		f := message.Flit{Pkt: p, Seq: seq}
+		if f.IsHead() != (seq == 0) {
+			t.Fatalf("seq %d head", seq)
+		}
+		if f.IsTail() != (seq == 4) {
+			t.Fatalf("seq %d tail", seq)
+		}
+	}
+	single := message.Flit{Pkt: &message.Packet{Size: 1}}
+	if !single.IsHead() || !single.IsTail() {
+		t.Fatal("single-flit packet must be head and tail")
+	}
+}
+
+func TestSignalEncodeDecodeRoundTrip(t *testing.T) {
+	err := quick.Check(func(typRaw uint8, vnetRaw uint8, dst uint8, inputVC uint8, start uint8) bool {
+		s := message.Signal{
+			Type:      message.SignalType(typRaw % 3),
+			VNet:      message.VNet(vnetRaw % message.NumVNets),
+			Dst:       topology.NodeID(dst),
+			InputVC:   int8(inputVC % 16),
+			StartMask: start % 8,
+		}
+		enc, err := s.Encode()
+		if err != nil {
+			return false
+		}
+		dec, err := message.DecodeSignal(enc)
+		if err != nil {
+			return false
+		}
+		if dec.Type != s.Type || dec.VNet != s.VNet {
+			return false
+		}
+		switch s.Type {
+		case message.UPPReq, message.UPPStop:
+			return dec.Dst == s.Dst && dec.InputVC == s.InputVC
+		default:
+			return dec.StartMask == s.StartMask
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalEncodingFitsPaperBudget(t *testing.T) {
+	// Fig. 4: req/stop fit in 18 bits, ack in 9, both within the 32-bit
+	// buffers.
+	if message.ReqStopEncodedBits != 18 {
+		t.Fatalf("req/stop width %d, paper 18", message.ReqStopEncodedBits)
+	}
+	if message.AckEncodedBits != 9 {
+		t.Fatalf("ack width %d, paper 9", message.AckEncodedBits)
+	}
+	s := message.Signal{Type: message.UPPReq, VNet: 2, Dst: 255, InputVC: 15}
+	enc, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc>>message.ReqStopEncodedBits != 0 {
+		t.Fatalf("req encoding %#x spills past %d bits", enc, message.ReqStopEncodedBits)
+	}
+	a := message.Signal{Type: message.UPPAck, VNet: 1, StartMask: 7}
+	enc, err = a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc>>message.AckEncodedBits != 0 {
+		t.Fatalf("ack encoding %#x spills past %d bits", enc, message.AckEncodedBits)
+	}
+}
+
+func TestSignalEncodeRejectsBadFields(t *testing.T) {
+	cases := []message.Signal{
+		{Type: message.UPPReq, VNet: -1},
+		{Type: message.UPPReq, VNet: 0, Dst: 300},
+		{Type: message.UPPReq, VNet: 0, Dst: 1, InputVC: 16},
+		{Type: message.UPPAck, VNet: 0, StartMask: 8},
+		{Type: message.SignalType(9), VNet: 0},
+	}
+	for i, s := range cases {
+		if _, err := s.Encode(); err == nil {
+			t.Errorf("case %d: expected encode error", i)
+		}
+	}
+}
+
+func TestIsInterChiplet(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	cores := topo.Cores()
+	sameChiplet := &message.Packet{Src: cores[0], Dst: cores[1]}
+	if sameChiplet.IsInterChiplet(topo) {
+		t.Fatal("same-chiplet packet flagged inter-chiplet")
+	}
+	cross := &message.Packet{Src: cores[0], Dst: cores[len(cores)-1]}
+	if !cross.IsInterChiplet(topo) {
+		t.Fatal("cross-chiplet packet not flagged")
+	}
+	toDir := &message.Packet{Src: cores[0], Dst: topo.Interposer[0]}
+	if !toDir.IsInterChiplet(topo) {
+		t.Fatal("core-to-interposer packet not flagged")
+	}
+}
+
+func TestTerminatingClasses(t *testing.T) {
+	// The Sec. V-B4 proof depends on response classes terminating.
+	for _, c := range []message.Class{message.ClassData, message.ClassDataAck} {
+		if !c.IsTerminating() {
+			t.Fatalf("response class %d must terminate", c)
+		}
+	}
+	for _, c := range []message.Class{message.ClassGetS, message.ClassGetM, message.ClassFwdGetS, message.ClassInv} {
+		if c.IsTerminating() {
+			t.Fatalf("request/forward class %d must not terminate", c)
+		}
+	}
+}
+
+// TestStringMethods pins the human-readable formats used in traces and
+// deadlock certificates.
+func TestStringMethods(t *testing.T) {
+	if got := message.VNetRequest.String(); got != "req" {
+		t.Fatalf("VNet string %q", got)
+	}
+	if got := message.VNet(9).String(); got != "vnet(9)" {
+		t.Fatalf("unknown VNet string %q", got)
+	}
+	p := &message.Packet{ID: 7, Size: 5, VNet: message.VNetResponse, Src: 1, Dst: 2}
+	head := message.Flit{Pkt: p, Seq: 0}
+	if s := head.String(); !containsAll(s, "pkt7", "head", "resp", "1->2") {
+		t.Fatalf("head flit string %q", s)
+	}
+	tail := message.Flit{Pkt: p, Seq: 4}
+	if s := tail.String(); !containsAll(s, "tail") {
+		t.Fatalf("tail flit string %q", s)
+	}
+	sig := message.Signal{Type: message.UPPAck, VNet: 1, PopupID: 3}
+	if s := sig.String(); !containsAll(s, "UPP_ack", "fwd", "popup=3") {
+		t.Fatalf("signal string %q", s)
+	}
+	if got := message.SignalType(9).String(); !containsAll(got, "signal(9)") {
+		t.Fatalf("unknown signal type string %q", got)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}

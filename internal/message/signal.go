@@ -1,0 +1,157 @@
+package message
+
+import (
+	"fmt"
+
+	"uppnoc/internal/topology"
+)
+
+// SignalType is one of the three UPP protocol signal kinds (Sec. V-B1).
+type SignalType int8
+
+// UPP protocol signals.
+const (
+	// UPPReq asks the destination NI to reserve an ejection queue entry
+	// and installs circuit entries along its path.
+	UPPReq SignalType = iota
+	// UPPAck confirms the reservation; it retraces the req's path in
+	// reverse and starts the popup.
+	UPPAck
+	// UPPStop cancels a reservation after a false positive resolved
+	// itself (the stalled packet moved on normally).
+	UPPStop
+)
+
+// String names the signal type.
+func (s SignalType) String() string {
+	switch s {
+	case UPPReq:
+		return "UPP_req"
+	case UPPAck:
+		return "UPP_ack"
+	case UPPStop:
+		return "UPP_stop"
+	}
+	return fmt.Sprintf("signal(%d)", int8(s))
+}
+
+// Signal is a UPP protocol signal in flight. Signals travel through the
+// normal router datapath like head flits, in two dedicated 32-bit buffers
+// per chiplet router (one for req/stop, one for ack), with priority over
+// normal flits during switch allocation (Sec. V-B2).
+type Signal struct {
+	Type SignalType
+	VNet VNet
+	// Dst is the destination router/NI (req and stop only; acks follow the
+	// reverse circuit path instead of route computation).
+	Dst topology.NodeID
+	// Origin is the interposer router that started the popup; acks
+	// terminate there.
+	Origin topology.NodeID
+	// PopupID matches reqs, acks and stops of one popup instance.
+	PopupID uint64
+	// StartMask is the ack's one-hot "popup started" field: bit v set
+	// means the popup of VNet v already started inside the chiplet
+	// (wormhole partly-transmitted case, Sec. V-B3).
+	StartMask uint8
+	// InputVC is the req's 4-bit field locating the upward packet's input
+	// VC under wormhole flow control (Fig. 4).
+	InputVC int8
+}
+
+// Bit widths of the Fig. 4 encodings.
+const (
+	signalTypeBits = 3
+	destBits       = 8
+	vnetBits       = 3 // one-hot over NumVNets
+	inputVCBits    = 4
+	startBits      = 3
+
+	// ReqStopEncodedBits is the encoded width of UPP_req/UPP_stop
+	// (3+8+3+4 = 18 bits under wormhole).
+	ReqStopEncodedBits = signalTypeBits + destBits + vnetBits + inputVCBits
+	// AckEncodedBits is the encoded width of UPP_ack (3+3+3 = 9 bits
+	// under wormhole).
+	AckEncodedBits = signalTypeBits + vnetBits + startBits
+	// SignalBufferBits is the conservative buffer width the paper
+	// provisions per signal buffer.
+	SignalBufferBits = 32
+)
+
+// Encode packs the signal into the Fig. 4 wire format and returns it in
+// the low bits of a uint32. The layout (LSB first) is:
+//
+//	req/stop: type[3] | dest[8] | vnetOneHot[3] | inputVC[4]
+//	ack:      type[3] | vnetOneHot[3] | start[3]
+//
+// Encode exists to demonstrate that the protocol state fits the paper's
+// 18-/9-bit budgets; the simulator moves Signal structs around.
+func (s *Signal) Encode() (uint32, error) {
+	if s.VNet < 0 || int(s.VNet) >= NumVNets {
+		return 0, fmt.Errorf("message: encode signal with invalid vnet %d", s.VNet)
+	}
+	oneHot := uint32(1) << uint(s.VNet)
+	switch s.Type {
+	case UPPReq, UPPStop:
+		if s.Dst < 0 || s.Dst > 255 {
+			return 0, fmt.Errorf("message: destination %d does not fit the 8-bit field", s.Dst)
+		}
+		if s.InputVC < 0 || s.InputVC > 15 {
+			return 0, fmt.Errorf("message: input VC %d does not fit the 4-bit field", s.InputVC)
+		}
+		v := uint32(s.Type)
+		v |= uint32(s.Dst) << signalTypeBits
+		v |= oneHot << (signalTypeBits + destBits)
+		v |= uint32(s.InputVC) << (signalTypeBits + destBits + vnetBits)
+		return v, nil
+	case UPPAck:
+		if s.StartMask>>startBits != 0 {
+			return 0, fmt.Errorf("message: start mask %#x does not fit 3 bits", s.StartMask)
+		}
+		v := uint32(s.Type)
+		v |= oneHot << signalTypeBits
+		v |= uint32(s.StartMask) << (signalTypeBits + vnetBits)
+		return v, nil
+	}
+	return 0, fmt.Errorf("message: encode unknown signal type %d", s.Type)
+}
+
+// DecodeSignal reverses Encode. PopupID and Origin are simulator-side
+// bookkeeping and are not part of the wire format.
+func DecodeSignal(v uint32) (Signal, error) {
+	var s Signal
+	s.Type = SignalType(v & ((1 << signalTypeBits) - 1))
+	oneHotToVNet := func(oh uint32) (VNet, error) {
+		for i := 0; i < NumVNets; i++ {
+			if oh == 1<<uint(i) {
+				return VNet(i), nil
+			}
+		}
+		return 0, fmt.Errorf("message: invalid one-hot vnet field %#x", oh)
+	}
+	switch s.Type {
+	case UPPReq, UPPStop:
+		s.Dst = topology.NodeID((v >> signalTypeBits) & ((1 << destBits) - 1))
+		vn, err := oneHotToVNet((v >> (signalTypeBits + destBits)) & ((1 << vnetBits) - 1))
+		if err != nil {
+			return s, err
+		}
+		s.VNet = vn
+		s.InputVC = int8((v >> (signalTypeBits + destBits + vnetBits)) & ((1 << inputVCBits) - 1))
+	case UPPAck:
+		vn, err := oneHotToVNet((v >> signalTypeBits) & ((1 << vnetBits) - 1))
+		if err != nil {
+			return s, err
+		}
+		s.VNet = vn
+		s.StartMask = uint8((v >> (signalTypeBits + vnetBits)) & ((1 << startBits) - 1))
+	default:
+		return s, fmt.Errorf("message: decode unknown signal type %d", s.Type)
+	}
+	return s, nil
+}
+
+// String formats the signal for debugging.
+func (s *Signal) String() string {
+	return fmt.Sprintf("%s vnet=%s dst=%d origin=%d popup=%d", s.Type, s.VNet, s.Dst, s.Origin, s.PopupID)
+}

@@ -1,0 +1,63 @@
+package network
+
+import (
+	"fmt"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/router"
+	"uppnoc/internal/topology"
+)
+
+// CheckQuiescent verifies that an idle network is pristine: every buffer
+// empty, every VC idle and unheld, every credit returned, every
+// allocation released, every NI queue empty and every ejection
+// reservation recycled. Any violation after a drain is a resource leak in
+// the datapath or a scheme — tests and the verification tooling call this
+// after every workload.
+func (n *Network) CheckQuiescent() error {
+	depth := int16(n.Cfg.Router.BufferDepth)
+	for i := range n.Topo.Nodes {
+		node := &n.Topo.Nodes[i]
+		r := n.Routers[node.ID]
+		if r.Buffered() != 0 {
+			return fmt.Errorf("network: node %d still buffers %d flits", node.ID, r.Buffered())
+		}
+		for pi := range node.Ports {
+			for vi := 0; vi < n.Cfg.Router.NumVCs(); vi++ {
+				vc := r.VCAt(topology.PortID(pi), vi)
+				if vc.State != router.VCIdle || !vc.Empty() {
+					return fmt.Errorf("network: node %d in[%d] vc%d not idle", node.ID, pi, vi)
+				}
+				if vc.Hold {
+					return fmt.Errorf("network: node %d in[%d] vc%d held", node.ID, pi, vi)
+				}
+				if pi == 0 {
+					continue
+				}
+				o := &r.Out[pi]
+				if o.Credits[vi] != depth {
+					return fmt.Errorf("network: node %d out[%d] vc%d credits %d != %d", node.ID, pi, vi, o.Credits[vi], depth)
+				}
+				if o.Busy[vi] {
+					return fmt.Errorf("network: node %d out[%d] vc%d allocation leaked", node.ID, pi, vi)
+				}
+			}
+		}
+		ni := n.NIs[node.ID]
+		if ni.Pending() != 0 {
+			return fmt.Errorf("network: NI %d has %d pending items", node.ID, ni.Pending())
+		}
+		for v := 0; v < message.NumVNets; v++ {
+			if got := ni.FreeEjectionEntries(message.VNet(v)); got != n.Cfg.EjectionDepth {
+				return fmt.Errorf("network: NI %d vnet %d has %d free ejection entries, want %d", node.ID, v, got, n.Cfg.EjectionDepth)
+			}
+			if ni.ReservedEntries(message.VNet(v)) != 0 {
+				return fmt.Errorf("network: NI %d vnet %d leaked a reservation", node.ID, v)
+			}
+		}
+	}
+	if n.Stats.InjectedFlits != n.Stats.EjectedFlits {
+		return fmt.Errorf("network: flit conservation violated: injected %d, ejected %d", n.Stats.InjectedFlits, n.Stats.EjectedFlits)
+	}
+	return nil
+}

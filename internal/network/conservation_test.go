@@ -1,0 +1,30 @@
+package network_test
+
+import (
+	"testing"
+
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+// TestConservationUnderLoad checks the credit/buffer conservation law
+// every 200 cycles through a loaded run.
+func TestConservationUnderLoad(t *testing.T) {
+	for _, vcs := range []int{1, 4} {
+		topo := topology.MustBuild(topology.BaselineConfig())
+		cfg := network.DefaultConfig()
+		cfg.Router.VCsPerVNet = vcs
+		n := network.MustNew(topo, cfg, network.None{})
+		g := traffic.NewGenerator(n, traffic.UniformRandom{}, 0.05, 3)
+		for i := 0; i < 8000; i++ {
+			g.Tick(n.Cycle())
+			n.Step()
+			if i%200 == 0 {
+				if err := n.CheckConservation(); err != nil {
+					t.Fatalf("vcs=%d cycle %d: %v", vcs, i, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package network
+
+// latHistBuckets x latHistWidth covers latencies up to 4096 cycles at
+// 4-cycle resolution; everything beyond lands in the overflow bucket.
+const (
+	latHistBuckets = 1024
+	latHistWidth   = 4
+)
+
+// LatencyHistogram collects packet latencies for percentile reporting —
+// tail latency matters for recovery schemes (a popup rescues a packet that
+// would otherwise wait forever, but the rescue itself takes time).
+type LatencyHistogram struct {
+	buckets  [latHistBuckets + 1]uint64
+	count    uint64
+	maxValue uint64
+}
+
+// Add records one latency sample.
+func (h *LatencyHistogram) Add(v uint64) {
+	idx := v / latHistWidth
+	if idx >= latHistBuckets {
+		idx = latHistBuckets
+	}
+	h.buckets[idx]++
+	h.count++
+	if v > h.maxValue {
+		h.maxValue = v
+	}
+}
+
+// Count returns the sample count.
+func (h *LatencyHistogram) Count() uint64 { return h.count }
+
+// Max returns the largest sample.
+func (h *LatencyHistogram) Max() uint64 { return h.maxValue }
+
+// Percentile returns the p-quantile (0 < p <= 1) in cycles, with
+// bucket-width resolution.
+func (h *LatencyHistogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(p * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			if i == latHistBuckets {
+				return h.maxValue
+			}
+			return uint64(i)*latHistWidth + latHistWidth/2
+		}
+	}
+	return h.maxValue
+}
+
+// Reset clears the histogram.
+func (h *LatencyHistogram) Reset() { *h = LatencyHistogram{} }
+
+// LatencyPercentile reports the p-quantile of measured packets' total
+// latency (queueing + network).
+func (n *Network) LatencyPercentile(p float64) uint64 { return n.latHist.Percentile(p) }
+
+// MaxLatency reports the worst measured packet latency.
+func (n *Network) MaxLatency() uint64 { return n.latHist.Max() }

@@ -1,0 +1,76 @@
+package network_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h network.LatencyHistogram
+	if h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram percentile nonzero")
+	}
+	for v := uint64(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	if h.Count() != 100 || h.Max() != 100 {
+		t.Fatalf("count %d max %d", h.Count(), h.Max())
+	}
+	p50 := h.Percentile(0.5)
+	if p50 < 44 || p50 > 56 {
+		t.Fatalf("p50 = %d, want ~50", p50)
+	}
+	p99 := h.Percentile(0.99)
+	if p99 < 92 || p99 > 104 {
+		t.Fatalf("p99 = %d, want ~99", p99)
+	}
+	h.Add(1 << 20) // overflow bucket
+	if got := h.Percentile(1.0); got != 1<<20 {
+		t.Fatalf("p100 with overflow = %d", got)
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogramMonotonePercentiles(t *testing.T) {
+	err := quick.Check(func(vals []uint16) bool {
+		var h network.LatencyHistogram
+		for _, v := range vals {
+			h.Add(uint64(v))
+		}
+		last := uint64(0)
+		for _, p := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+			q := h.Percentile(p)
+			if q < last {
+				return false
+			}
+			last = q
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkPercentiles(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	n := network.MustNew(topo, network.DefaultConfig(), network.None{})
+	g := traffic.NewGenerator(n, traffic.UniformRandom{}, 0.02, 5)
+	g.Run(2000)
+	n.ResetMeasurement()
+	g.Run(10000)
+	p50, p99 := n.LatencyPercentile(0.5), n.LatencyPercentile(0.99)
+	if p50 == 0 || p99 < p50 {
+		t.Fatalf("p50=%d p99=%d", p50, p99)
+	}
+	if n.MaxLatency() < p99 {
+		t.Fatalf("max %d < p99 %d", n.MaxLatency(), p99)
+	}
+}

@@ -1,0 +1,347 @@
+// Package network assembles routers, links and network interfaces into a
+// runnable chiplet-system NoC and advances it cycle by cycle. Deadlock
+// freedom schemes (UPP, composable routing, remote control) plug in via
+// the Scheme interface.
+package network
+
+import (
+	"fmt"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/router"
+	"uppnoc/internal/routing"
+	"uppnoc/internal/sim"
+	"uppnoc/internal/topology"
+)
+
+// Config parameterizes a network instance.
+type Config struct {
+	Router router.Config
+	// EjectionDepth is the per-VNet ejection queue capacity in packets.
+	EjectionDepth int
+	// Seed drives all randomized decisions (VC selection, traffic).
+	Seed uint64
+	// UseUpDown selects up*/down* local routing instead of XY (needed on
+	// faulty systems).
+	UseUpDown bool
+	// Adaptive selects minimal-adaptive odd-even local routing with
+	// credit-aware output selection — the "fully adaptive network" UPP's
+	// recovery framework enables (deadlock-free within each layer by the
+	// odd-even turn model; integration-induced deadlocks recovered by the
+	// scheme). Mutually exclusive with UseUpDown.
+	Adaptive bool
+}
+
+// DefaultConfig mirrors Table II with 1 VC per VNet.
+func DefaultConfig() Config {
+	return Config{Router: router.DefaultConfig(), EjectionDepth: 4, Seed: 1}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Router.Validate(); err != nil {
+		return err
+	}
+	if c.EjectionDepth < 1 {
+		return fmt.Errorf("network: EjectionDepth must be >= 1")
+	}
+	if c.UseUpDown && c.Adaptive {
+		return fmt.Errorf("network: UseUpDown and Adaptive are mutually exclusive")
+	}
+	return nil
+}
+
+// event kinds in the delivery wheel.
+const (
+	evFlit = iota
+	evCredit
+	evCall
+)
+
+type event struct {
+	kind  uint8
+	to    topology.NodeID
+	port  topology.PortID
+	vc    int8
+	delta int8
+	free  bool
+	flit  message.Flit
+	fn    func(cycle sim.Cycle)
+}
+
+// wheelSize bounds the maximum event latency (link latency + pipeline).
+const wheelSize = 128
+
+// Network is a complete simulated system.
+type Network struct {
+	Topo    *topology.Topology
+	Cfg     Config
+	Routers []*router.Router
+	NIs     []*NI
+
+	scheme        Scheme
+	hier          *routing.Hierarchical
+	routeOverride router.RouteFunc
+	rng           *sim.RNG
+
+	cycle  sim.Cycle
+	wheel  [wheelSize][]event
+	nextID uint64
+	tracer Tracer
+
+	Stats   Stats
+	latHist LatencyHistogram
+
+	// lastEject supports deadlock detection in tests and the drain loop.
+	lastEject sim.Cycle
+}
+
+// New builds a network over t with the given scheme. The scheme's boundary
+// policy governs egress selection; its hooks are wired into the cycle loop.
+func New(t *topology.Topology, cfg Config, scheme Scheme) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Topo:   t,
+		Cfg:    cfg,
+		scheme: scheme,
+		rng:    sim.NewRNG(cfg.Seed),
+	}
+	var local routing.Local
+	switch {
+	case cfg.UseUpDown:
+		ud, err := routing.NewUpDown(t)
+		if err != nil {
+			return nil, err
+		}
+		local = ud
+	case cfg.Adaptive:
+		// Minimal-adaptive odd-even routing with credit-aware selection:
+		// prefer the candidate output whose downstream VCs have the most
+		// free credits for the packet's VNet.
+		local = routing.NewOddEven(t, func(cur topology.NodeID, candidates []topology.PortID, p *message.Packet) topology.PortID {
+			best := candidates[0]
+			bestCredits := -1
+			r := n.Routers[cur]
+			for _, cand := range candidates {
+				credits := 0
+				for k := 0; k < cfg.Router.VCsPerVNet; k++ {
+					dv := cfg.Router.VCIndex(p.VNet, k)
+					if !r.Out[cand].Busy[dv] {
+						credits += int(r.Out[cand].Credits[dv])
+					}
+				}
+				if credits > bestCredits {
+					bestCredits = credits
+					best = cand
+				}
+			}
+			return best
+		})
+	default:
+		local = routing.NewXY(t)
+	}
+	n.hier = routing.NewHierarchical(t, local)
+	route := func(cur topology.NodeID, inPort topology.PortID, p *message.Packet) (topology.PortID, error) {
+		return n.Route(cur, inPort, p)
+	}
+	n.Routers = make([]*router.Router, t.NumNodes())
+	n.NIs = make([]*NI, t.NumNodes())
+	for i := range t.Nodes {
+		node := &t.Nodes[i]
+		r := router.New(node, cfg.Router, n, nil, route, n.rng.Split(uint64(i)))
+		ni := newNI(n, node.ID, r, cfg.Router, cfg.EjectionDepth)
+		r.SetLocal(ni)
+		n.Routers[i] = r
+		n.NIs[i] = ni
+	}
+	scheme.Attach(n)
+	return n, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(t *topology.Topology, cfg Config, scheme Scheme) *Network {
+	n, err := New(t, cfg, scheme)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Scheme returns the attached deadlock-freedom scheme.
+func (n *Network) Scheme() Scheme { return n.scheme }
+
+// Hier returns the hierarchical routing function (plugins route protocol
+// signals with it).
+func (n *Network) Hier() *routing.Hierarchical { return n.hier }
+
+// SetRouteOverride replaces the default hierarchical routing with a
+// scheme-provided route function (composable routing's turn-restricted
+// tables). Schemes call it from Attach.
+func (n *Network) SetRouteOverride(f router.RouteFunc) { n.routeOverride = f }
+
+// SetLocalRouting swaps the per-layer routing algorithm at run time — the
+// dynamic-reconfiguration scenario of Sec. III-C (hardware faults or power
+// gating change the topology; a topology-independent scheme rebuilds its
+// routing and carries on). Call it on a quiesced network: in-flight
+// packets routed under the old algorithm would otherwise mix turn rules.
+func (n *Network) SetLocalRouting(local routing.Local) {
+	n.hier = routing.NewHierarchical(n.Topo, local)
+}
+
+// Route computes the output port for p at router cur with input port
+// inPort — the same function the routers' route-computation stage uses.
+// Scheme plugins route protocol signals and popup paths with it.
+func (n *Network) Route(cur topology.NodeID, inPort topology.PortID, p *message.Packet) (topology.PortID, error) {
+	if n.routeOverride != nil {
+		return n.routeOverride(cur, inPort, p)
+	}
+	return n.hier.NextPort(cur, p)
+}
+
+// Cycle returns the current simulation time.
+func (n *Network) Cycle() sim.Cycle { return n.cycle }
+
+// RNG exposes the network's deterministic generator for components that
+// need auxiliary randomness.
+func (n *Network) RNG() *sim.RNG { return n.rng }
+
+// NewPacketID allocates a unique packet ID.
+func (n *Network) NewPacketID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+// prepare stamps routing state on a freshly enqueued packet.
+func (n *Network) prepare(p *message.Packet) {
+	if p.ID == 0 {
+		p.ID = n.NewPacketID()
+	}
+	routing.Prepare(n.Topo, p, n.scheme.Policy())
+}
+
+// Schedule runs fn at the given future cycle (plugins use this for signal
+// and popup-flit timing).
+func (n *Network) Schedule(cycle sim.Cycle, fn func(cycle sim.Cycle)) {
+	if cycle <= n.cycle {
+		panic("network: Schedule in the past or present")
+	}
+	if cycle-n.cycle >= wheelSize {
+		panic("network: Schedule beyond event wheel horizon")
+	}
+	slot := cycle % wheelSize
+	n.wheel[slot] = append(n.wheel[slot], event{kind: evCall, fn: fn})
+}
+
+// DeliverFlit implements router.EventSink.
+func (n *Network) DeliverFlit(to topology.NodeID, port topology.PortID, vc int8, f message.Flit, cycle sim.Cycle) {
+	slot := cycle % wheelSize
+	n.wheel[slot] = append(n.wheel[slot], event{kind: evFlit, to: to, port: port, vc: vc, flit: f})
+}
+
+// DeliverCredit implements router.EventSink.
+func (n *Network) DeliverCredit(to topology.NodeID, port topology.PortID, vc int8, delta int, free bool, cycle sim.Cycle) {
+	slot := cycle % wheelSize
+	n.wheel[slot] = append(n.wheel[slot], event{kind: evCredit, to: to, port: port, vc: vc, delta: int8(delta), free: free})
+}
+
+// deliverLocalFlit carries an NI-injected flit to its router's local input
+// port.
+func (n *Network) deliverLocalFlit(node topology.NodeID, vc int8, f message.Flit, cycle sim.Cycle) {
+	n.DeliverFlit(node, topology.LocalPort, vc, f, cycle)
+}
+
+// NI returns the network interface at node id.
+func (n *Network) NI(id topology.NodeID) *NI { return n.NIs[id] }
+
+// Router returns the router at node id.
+func (n *Network) Router(id topology.NodeID) *router.Router { return n.Routers[id] }
+
+// Step advances the system by one cycle.
+func (n *Network) Step() {
+	cycle := n.cycle
+	for _, r := range n.Routers {
+		r.ResetClaims()
+	}
+	// Deliver due events.
+	slot := cycle % wheelSize
+	events := n.wheel[slot]
+	n.wheel[slot] = events[:0]
+	for i := range events {
+		e := &events[i]
+		switch e.kind {
+		case evFlit:
+			delay := n.scheme.OnFlitArrived(e.to, e.port, e.flit, cycle)
+			r := n.Routers[e.to]
+			r.ReceiveFlit(e.port, e.vc, e.flit, cycle+delay)
+		case evCredit:
+			if e.port == topology.LocalPort {
+				n.NIs[e.to].receiveCredit(e.vc, int(e.delta), e.free)
+			} else {
+				n.Routers[e.to].ReceiveCredit(e.port, e.vc, int(e.delta), e.free)
+			}
+		case evCall:
+			e.fn(cycle)
+		}
+	}
+	n.scheme.StartOfCycle(cycle)
+	for _, r := range n.Routers {
+		r.Step(cycle)
+	}
+	for _, ni := range n.NIs {
+		ni.step(cycle)
+	}
+	n.scheme.EndOfCycle(cycle)
+	n.cycle++
+}
+
+// Run advances the network by cycles steps.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// recordEjected updates latency statistics when a packet fully ejects.
+func (n *Network) recordEjected(p *message.Packet, cycle sim.Cycle) {
+	n.lastEject = cycle
+	n.Stats.EjectedPackets++
+	if p.BirthCycle >= n.Stats.MeasureStart {
+		n.Stats.MeasuredPackets++
+		n.Stats.NetLatencySum += uint64(p.EjectCycle - p.InjectCycle)
+		n.Stats.QueueLatencySum += uint64(p.InjectCycle - p.BirthCycle)
+		n.latHist.Add(uint64(p.EjectCycle - p.BirthCycle))
+	}
+}
+
+// InFlight counts packets born but not yet consumed by their destination
+// PE, including injection-queue occupancy and packets awaiting
+// consumption in ejection queues.
+func (n *Network) InFlight() int {
+	return int(n.Stats.BornPackets - n.Stats.ConsumedPackets)
+}
+
+// Quiesced reports whether nothing is in flight.
+func (n *Network) Quiesced() bool { return n.InFlight() == 0 }
+
+// Drain runs until the network quiesces or maxCycles elapse; it returns an
+// error when progress stops for stallLimit cycles (a real deadlock under
+// schemes without recovery, or a bug elsewhere).
+func (n *Network) Drain(maxCycles int, stallLimit sim.Cycle) error {
+	deadline := n.cycle + sim.Cycle(maxCycles)
+	n.lastEject = n.cycle
+	for n.cycle < deadline {
+		if n.Quiesced() {
+			return nil
+		}
+		if n.cycle-n.lastEject > stallLimit {
+			return fmt.Errorf("network: no ejection for %d cycles with %d packets in flight (deadlock?)", stallLimit, n.InFlight())
+		}
+		n.Step()
+	}
+	if !n.Quiesced() {
+		return fmt.Errorf("network: %d packets still in flight after %d cycles", n.InFlight(), maxCycles)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package network_test
+
+import (
+	"testing"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+func baselineNet(t *testing.T, vcs int) *network.Network {
+	t.Helper()
+	topo := topology.MustBuild(topology.BaselineConfig())
+	cfg := network.DefaultConfig()
+	cfg.Router.VCsPerVNet = vcs
+	n, err := network.New(topo, cfg, network.None{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+func TestSinglePacketCrossesChiplets(t *testing.T) {
+	n := baselineNet(t, 1)
+	cores := n.Topo.Cores()
+	src, dst := cores[0], cores[len(cores)-1] // opposite corner chiplets
+	p := &message.Packet{Src: src, Dst: dst, VNet: message.VNetRequest, Size: 5}
+	n.NI(src).Enqueue(p, 0)
+	if err := n.Drain(2000, 500); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if p.EjectCycle <= p.InjectCycle {
+		t.Fatalf("bad timestamps: inject %d eject %d", p.InjectCycle, p.EjectCycle)
+	}
+	lat := p.EjectCycle - p.InjectCycle
+	// Roughly: ~10 hops x 3 cycles + serialization; sanity bounds only.
+	if lat < 10 || lat > 200 {
+		t.Fatalf("implausible network latency %d", lat)
+	}
+	if n.Stats.EjectedPackets != 1 || n.Stats.ConsumedPackets != 1 {
+		t.Fatalf("stats: %+v", n.Stats)
+	}
+}
+
+func TestLowLoadUniformRandomDrains(t *testing.T) {
+	for _, vcs := range []int{1, 4} {
+		n := baselineNet(t, vcs)
+		g := traffic.NewGenerator(n, traffic.UniformRandom{}, 0.02, 7)
+		g.Run(3000)
+		g.SetRate(0)
+		if err := n.Drain(20000, 2000); err != nil {
+			t.Fatalf("vcs=%d: %v", vcs, err)
+		}
+		if n.Stats.EjectedPackets == 0 {
+			t.Fatalf("vcs=%d: nothing ejected", vcs)
+		}
+		if n.Stats.EjectedPackets != n.Stats.BornPackets {
+			t.Fatalf("vcs=%d: born %d != ejected %d", vcs, n.Stats.BornPackets, n.Stats.EjectedPackets)
+		}
+		if lat := n.AvgNetLatency(); lat < 5 || lat > 120 {
+			t.Fatalf("vcs=%d: implausible avg latency %f", vcs, lat)
+		}
+	}
+}
+
+func TestAllPairsDeliver(t *testing.T) {
+	n := baselineNet(t, 1)
+	cores := n.Topo.Cores()
+	want := 0
+	for i, src := range cores {
+		// A spread of destinations per source keeps the test fast while
+		// still covering intra-chiplet, inter-chiplet and corner cases.
+		for j := 0; j < len(cores); j += 7 {
+			if i == j {
+				continue
+			}
+			p := &message.Packet{Src: src, Dst: cores[j], VNet: message.VNet(want % message.NumVNets), Size: 1 + 4*(want%2)}
+			n.NI(src).Enqueue(p, 0)
+			want++
+		}
+	}
+	if err := n.Drain(200000, 20000); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if int(n.Stats.EjectedPackets) != want {
+		t.Fatalf("ejected %d of %d", n.Stats.EjectedPackets, want)
+	}
+}

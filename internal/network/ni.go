@@ -1,0 +1,303 @@
+package network
+
+import (
+	"fmt"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/router"
+	"uppnoc/internal/sim"
+	"uppnoc/internal/topology"
+)
+
+// Consumer is the processing element behind an NI. It receives complete
+// messages; returning false means the PE cannot consume the message yet
+// (e.g. a directory waiting for response-injection space — the second case
+// of the Sec. V-B4 proof) and the NI retries every cycle, holding the
+// ejection-queue entry meanwhile.
+type Consumer func(p *message.Packet, cycle sim.Cycle) bool
+
+// stream tracks a packet currently being flit-injected into the router.
+type stream struct {
+	pkt  *message.Packet
+	vc   int8
+	next int32
+}
+
+// reservationWaiter is a pending UPP_req waiting for a free ejection entry.
+type reservationWaiter struct {
+	vnet    message.VNet
+	popupID uint64
+	grant   func(cycle sim.Cycle)
+}
+
+// NI is a network interface: per-VNet injection queues that segment
+// messages into flits, and per-VNet bounded ejection queues that
+// reassemble flits into messages for the PE (the model of Sec. V-B4).
+type NI struct {
+	Node topology.NodeID
+	net  *Network
+	r    *router.Router
+	cfg  router.Config
+
+	// Injection side.
+	injQ    [message.NumVNets][]*message.Packet
+	streams [message.NumVNets]stream
+	active  [message.NumVNets]bool
+	credits []int16
+	busy    []bool
+	vnetRR  int
+
+	// Ejection side.
+	ejCap      int
+	ejOccupied [message.NumVNets]int
+	ejReserved [message.NumVNets]int
+	waiters    []reservationWaiter
+	assembly   map[uint64]int32
+	complete   []completed
+
+	// Consume delivers reassembled messages to the PE. Defaults to
+	// consume-immediately.
+	Consume Consumer
+}
+
+type completed struct {
+	pkt   *message.Packet
+	ready sim.Cycle
+}
+
+func newNI(net *Network, node topology.NodeID, r *router.Router, cfg router.Config, ejCap int) *NI {
+	ni := &NI{
+		Node:     node,
+		net:      net,
+		r:        r,
+		cfg:      cfg,
+		ejCap:    ejCap,
+		credits:  make([]int16, cfg.NumVCs()),
+		busy:     make([]bool, cfg.NumVCs()),
+		assembly: make(map[uint64]int32),
+	}
+	for i := range ni.credits {
+		ni.credits[i] = int16(cfg.BufferDepth)
+	}
+	ni.Consume = func(*message.Packet, sim.Cycle) bool { return true }
+	return ni
+}
+
+// Enqueue places a message in the injection queue of its VNet. The
+// injection queue models the PE-side message queue; its occupancy shows up
+// as queueing latency.
+func (ni *NI) Enqueue(p *message.Packet, cycle sim.Cycle) {
+	p.BirthCycle = cycle
+	ni.net.prepare(p)
+	ni.injQ[p.VNet] = append(ni.injQ[p.VNet], p)
+	ni.net.Stats.BornPackets++
+}
+
+// InjQueueLen returns the injection queue depth of a VNet (coherence PEs
+// use it to decide whether a request can be processed — proof case 2).
+func (ni *NI) InjQueueLen(v message.VNet) int { return len(ni.injQ[v]) }
+
+// InjSpace reports whether the injection queue of v has room under cap
+// (<=0 means unbounded).
+func (ni *NI) InjSpace(v message.VNet, cap int) bool {
+	return cap <= 0 || len(ni.injQ[v]) < cap
+}
+
+// receiveCredit handles credits returned by the router's local input port.
+func (ni *NI) receiveCredit(vc int8, delta int, free bool) {
+	ni.credits[vc] += int16(delta)
+	if free {
+		ni.busy[vc] = false
+	}
+}
+
+// step advances the NI one cycle: consume completed messages, grant
+// pending UPP reservations, start and continue flit injection.
+func (ni *NI) step(cycle sim.Cycle) {
+	ni.consumeStep(cycle)
+	ni.grantWaiters(cycle)
+	ni.injectStep(cycle)
+}
+
+func (ni *NI) consumeStep(cycle sim.Cycle) {
+	kept := ni.complete[:0]
+	for _, c := range ni.complete {
+		if c.ready > cycle || !ni.Consume(c.pkt, cycle) {
+			kept = append(kept, c)
+			continue
+		}
+		ni.ejOccupied[c.pkt.VNet]--
+		ni.net.Stats.ConsumedPackets++
+	}
+	ni.complete = kept
+}
+
+func (ni *NI) grantWaiters(cycle sim.Cycle) {
+	if len(ni.waiters) == 0 {
+		return
+	}
+	kept := ni.waiters[:0]
+	for _, w := range ni.waiters {
+		if ni.freeEj(w.vnet) > 0 {
+			ni.ejReserved[w.vnet]++
+			w.grant(cycle)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	ni.waiters = kept
+}
+
+func (ni *NI) injectStep(cycle sim.Cycle) {
+	// Start new streams: one attempt per VNet per cycle.
+	for v := 0; v < message.NumVNets; v++ {
+		if ni.active[v] || len(ni.injQ[v]) == 0 {
+			continue
+		}
+		p := ni.injQ[v][0]
+		if !ni.net.scheme.CanStartPacket(ni, p, cycle) {
+			continue
+		}
+		vc := ni.pickFreeVC(message.VNet(v))
+		if vc < 0 {
+			continue
+		}
+		ni.busy[vc] = true
+		ni.streams[v] = stream{pkt: p, vc: vc}
+		ni.active[v] = true
+		ni.injQ[v] = ni.injQ[v][1:]
+	}
+	// The local port is one physical channel: one flit per cycle,
+	// round-robin over VNets with an active stream and credit.
+	for k := 0; k < message.NumVNets; k++ {
+		v := (ni.vnetRR + 1 + k) % message.NumVNets
+		if !ni.active[v] {
+			continue
+		}
+		st := &ni.streams[v]
+		if ni.credits[st.vc] <= 0 {
+			continue
+		}
+		ni.vnetRR = v
+		ni.credits[st.vc]--
+		f := message.Flit{Pkt: st.pkt, Seq: st.next}
+		if f.IsHead() {
+			st.pkt.InjectCycle = cycle
+			ni.net.Stats.InjectedPackets++
+			ni.net.Trace("inject", ni.Node, "pkt%d %s %d->%d (%d flits, queued %d cycles)",
+				st.pkt.ID, st.pkt.VNet, st.pkt.Src, st.pkt.Dst, st.pkt.Size, cycle-st.pkt.BirthCycle)
+		}
+		ni.net.Stats.InjectedFlits++
+		st.next++
+		ni.net.deliverLocalFlit(ni.Node, st.vc, f, cycle+1)
+		if f.IsTail() {
+			ni.active[v] = false
+			ni.streams[v] = stream{}
+		}
+		break
+	}
+}
+
+func (ni *NI) pickFreeVC(v message.VNet) int8 {
+	for k := 0; k < ni.cfg.VCsPerVNet; k++ {
+		vc := int8(ni.cfg.VCIndex(v, k))
+		if !ni.busy[vc] && ni.credits[vc] == int16(ni.cfg.BufferDepth) {
+			return vc
+		}
+	}
+	return -1
+}
+
+// --- Ejection side ---------------------------------------------------------
+
+func (ni *NI) freeEj(v message.VNet) int {
+	return ni.ejCap - ni.ejOccupied[v] - ni.ejReserved[v]
+}
+
+// FreeEjectionEntries reports the unreserved free ejection entries of v.
+func (ni *NI) FreeEjectionEntries(v message.VNet) int { return ni.freeEj(v) }
+
+// ReservedEntries returns the UPP-reserved entry count for v.
+func (ni *NI) ReservedEntries(v message.VNet) int { return ni.ejReserved[v] }
+
+// CanAcceptHead implements router.LocalSink: a normal packet may begin
+// ejecting only into a free, unreserved entry.
+func (ni *NI) CanAcceptHead(p *message.Packet, _ sim.Cycle) bool {
+	return ni.freeEj(p.VNet) > 0
+}
+
+// AcceptFlit implements router.LocalSink. Head flits claim their ejection
+// entry (popup heads consume the UPP reservation); tail flits complete
+// reassembly and hand the message to the PE.
+func (ni *NI) AcceptFlit(f message.Flit, arrival sim.Cycle) {
+	p := f.Pkt
+	if p.Popup && !p.PopupResUsed {
+		// The first popup-mode flit consumes the reserved entry — usually
+		// the head, but a body flit when the head already ejected normally
+		// before the popup began (late false positive).
+		if ni.ejReserved[p.VNet] <= 0 {
+			panic(fmt.Sprintf("ni %d: popup flit without reservation (pkt %d)", ni.Node, p.ID))
+		}
+		ni.ejReserved[p.VNet]--
+		p.PopupResUsed = true
+	}
+	if f.IsHead() {
+		ni.ejOccupied[p.VNet]++
+	}
+	ni.assembly[p.ID]++
+	ni.net.Stats.EjectedFlits++
+	if int(ni.assembly[p.ID]) != p.Size {
+		return
+	}
+	delete(ni.assembly, p.ID)
+	p.EjectCycle = arrival
+	ni.net.Trace("eject", ni.Node, "pkt%d %s %d->%d latency=%d popup=%v",
+		p.ID, p.VNet, p.Src, p.Dst, p.EjectCycle-p.InjectCycle, p.Popup)
+	ni.complete = append(ni.complete, completed{pkt: p, ready: arrival})
+	ni.net.recordEjected(p, arrival)
+	ni.net.scheme.OnPacketEjected(ni, p, arrival)
+}
+
+// RequestReservation implements the NI side of UPP_req (Sec. V-B): reserve
+// an ejection entry for vnet, calling grant when done — immediately if an
+// entry is free, otherwise as soon as one frees up (guaranteed to happen;
+// see the Sec. V-B4 proof cases enforced by Consumer semantics).
+func (ni *NI) RequestReservation(vnet message.VNet, popupID uint64, cycle sim.Cycle, grant func(cycle sim.Cycle)) {
+	if ni.freeEj(vnet) > 0 {
+		ni.ejReserved[vnet]++
+		grant(cycle)
+		return
+	}
+	ni.waiters = append(ni.waiters, reservationWaiter{vnet: vnet, popupID: popupID, grant: grant})
+}
+
+// CancelReservation implements UPP_stop: recycle a reservation (or drop the
+// pending request) for the given popup.
+func (ni *NI) CancelReservation(vnet message.VNet, popupID uint64) {
+	for i, w := range ni.waiters {
+		if w.popupID == popupID {
+			ni.waiters = append(ni.waiters[:i], ni.waiters[i+1:]...)
+			return
+		}
+	}
+	if ni.ejReserved[vnet] <= 0 {
+		panic(fmt.Sprintf("ni %d: cancel of non-existent reservation (vnet %s popup %d)", ni.Node, vnet, popupID))
+	}
+	ni.ejReserved[vnet]--
+}
+
+// Router returns the router this NI is attached to.
+func (ni *NI) Router() *router.Router { return ni.r }
+
+// Pending reports in-flight work at this NI: queued, streaming or
+// reassembling packets (used by drain loops and the watchdog).
+func (ni *NI) Pending() int {
+	n := len(ni.assembly) + len(ni.complete) + len(ni.waiters)
+	for v := 0; v < message.NumVNets; v++ {
+		n += len(ni.injQ[v])
+		if ni.active[v] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,85 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"uppnoc/internal/topology"
+)
+
+// RenderOccupancy draws the system's buffer occupancy as ASCII grids —
+// one per layer — with each router shown as its buffered flit count
+// (".", digits, then "#" beyond 9). Wedged networks render the deadlock's
+// footprint directly; the cmd/deadlock tool prints this next to the
+// dependency-cycle certificate.
+func (n *Network) RenderOccupancy() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d — buffer occupancy (flits per router)\n", n.cycle)
+	b.WriteString(n.renderLayer("interposer", n.Topo.Interposer, n.Topo.InterposerW))
+	for i := range n.Topo.Chiplets {
+		ch := &n.Topo.Chiplets[i]
+		b.WriteString(n.renderLayer(fmt.Sprintf("chiplet %d", ch.Index), ch.Routers, ch.Width))
+	}
+	return b.String()
+}
+
+func (n *Network) renderLayer(label string, nodes []topology.NodeID, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", label)
+	height := len(nodes) / width
+	// Render top row (largest y) first so north is up.
+	for y := height - 1; y >= 0; y-- {
+		b.WriteString("  ")
+		for x := 0; x < width; x++ {
+			id := nodes[y*width+x]
+			r := n.Routers[id]
+			cell := occupancyGlyph(r.Buffered())
+			mark := " "
+			if n.Topo.Node(id).Kind == topology.BoundaryRouter {
+				mark = "*" // boundary routers carry the vertical links
+			}
+			fmt.Fprintf(&b, "%s%s ", cell, mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func occupancyGlyph(buffered int) string {
+	switch {
+	case buffered == 0:
+		return "."
+	case buffered <= 9:
+		return fmt.Sprintf("%d", buffered)
+	default:
+		return "#"
+	}
+}
+
+// RenderUpPorts summarizes the vertical links: per interposer router with
+// an up link, whether a packet is stalled toward it — the quantity UPP's
+// detection counters watch.
+func (n *Network) RenderUpPorts() string {
+	var b strings.Builder
+	b.WriteString("vertical links (interposer router -> boundary router, stalled upward fronts):\n")
+	for _, id := range n.Topo.Interposer {
+		node := n.Topo.Node(id)
+		r := n.Routers[id]
+		for pi := 1; pi < len(node.Ports); pi++ {
+			if node.Ports[pi].Dir != topology.Up {
+				continue
+			}
+			stalled := 0
+			for ipi := range node.Ports {
+				for vi := 0; vi < n.Cfg.Router.NumVCs(); vi++ {
+					vc := r.VCAt(topology.PortID(ipi), vi)
+					if vc.OutPort == topology.PortID(pi) && !vc.Empty() {
+						stalled++
+					}
+				}
+			}
+			fmt.Fprintf(&b, "  %2d -> %2d : %d stalled\n", id, node.Ports[pi].Neighbor, stalled)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package network_test
+
+import (
+	"strings"
+	"testing"
+
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+func TestRenderOccupancy(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	n := network.MustNew(topo, network.DefaultConfig(), network.None{})
+	out := n.RenderOccupancy()
+	if !strings.Contains(out, "interposer:") {
+		t.Fatalf("missing interposer grid:\n%s", out)
+	}
+	for _, ch := range []string{"chiplet 0:", "chiplet 1:", "chiplet 2:", "chiplet 3:"} {
+		if !strings.Contains(out, ch) {
+			t.Fatalf("missing %s grid", ch)
+		}
+	}
+	// Idle network: all dots, boundary routers starred.
+	if !strings.Contains(out, ".*") {
+		t.Fatal("no boundary-router markers")
+	}
+	if strings.ContainsAny(gridOnly(out), "123456789#") {
+		t.Fatalf("idle network shows occupancy:\n%s", out)
+	}
+	// Load it and confirm occupancy appears.
+	g := traffic.NewGenerator(n, traffic.UniformRandom{}, 0.10, 5)
+	g.Run(2000)
+	out = n.RenderOccupancy()
+	if !strings.ContainsAny(gridOnly(out), "123456789#") {
+		t.Fatalf("loaded network renders empty:\n%s", out)
+	}
+}
+
+// gridOnly strips label lines, keeping the occupancy rows (indented).
+func gridOnly(out string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "  ") {
+			b.WriteString(line)
+		}
+	}
+	return b.String()
+}
+
+func TestRenderUpPorts(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	n := network.MustNew(topo, network.DefaultConfig(), network.None{})
+	out := n.RenderUpPorts()
+	if got := strings.Count(out, "stalled\n"); got != 16 {
+		t.Fatalf("%d vertical links rendered, want 16:\n%s", got, out)
+	}
+}

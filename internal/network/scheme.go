@@ -1,0 +1,78 @@
+package network
+
+import (
+	"uppnoc/internal/message"
+	"uppnoc/internal/routing"
+	"uppnoc/internal/sim"
+	"uppnoc/internal/topology"
+)
+
+// Scheme is a deadlock-freedom approach plugged into the network: UPP
+// (internal/core), composable routing (internal/composable), remote
+// control (internal/remotectl), or None (fully adaptive with no recovery —
+// used to demonstrate that integration-induced deadlocks really form).
+//
+// A scheme observes and manipulates the datapath through the routers'
+// plugin API and the hooks below; the base datapath itself is identical
+// across schemes, which is what makes the paper's comparisons meaningful.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Policy selects egress boundary routers at injection time.
+	Policy() routing.BoundaryPolicy
+	// Attach wires the scheme to the network before simulation starts.
+	Attach(n *Network)
+	// StartOfCycle runs after event delivery and before router allocation:
+	// schemes move protocol signals and popup flits here and claim
+	// crossbar ports, which normal allocation then respects.
+	StartOfCycle(cycle sim.Cycle)
+	// EndOfCycle runs after routers and NIs: detection counters and
+	// timeout logic live here.
+	EndOfCycle(cycle sim.Cycle)
+	// CanStartPacket gates the injection of a packet's head flit (remote
+	// control's injection control). Called once per cycle for the packet
+	// at the front of an injection queue until it returns true.
+	CanStartPacket(ni *NI, p *message.Packet, cycle sim.Cycle) bool
+	// OnFlitArrived observes every flit delivery at a router input and
+	// returns extra buffer-write delay in cycles (remote control charges
+	// +1 at boundary crossings).
+	OnFlitArrived(node topology.NodeID, port topology.PortID, f message.Flit, cycle sim.Cycle) sim.Cycle
+	// OnPacketEjected observes complete packet reassembly at an NI.
+	OnPacketEjected(ni *NI, p *message.Packet, cycle sim.Cycle)
+}
+
+// BaseScheme is a no-op Scheme for embedding; concrete schemes override
+// the hooks they need.
+type BaseScheme struct{}
+
+// Policy returns the paper's static binding.
+func (BaseScheme) Policy() routing.BoundaryPolicy { return routing.DefaultPolicy{} }
+
+// Attach is a no-op.
+func (BaseScheme) Attach(*Network) {}
+
+// StartOfCycle is a no-op.
+func (BaseScheme) StartOfCycle(sim.Cycle) {}
+
+// EndOfCycle is a no-op.
+func (BaseScheme) EndOfCycle(sim.Cycle) {}
+
+// CanStartPacket admits every packet.
+func (BaseScheme) CanStartPacket(*NI, *message.Packet, sim.Cycle) bool { return true }
+
+// OnFlitArrived adds no delay.
+func (BaseScheme) OnFlitArrived(topology.NodeID, topology.PortID, message.Flit, sim.Cycle) sim.Cycle {
+	return 0
+}
+
+// OnPacketEjected is a no-op.
+func (BaseScheme) OnPacketEjected(*NI, *message.Packet, sim.Cycle) {}
+
+// None is the recovery-free fully-adaptive configuration: static-binding
+// routing with no deadlock handling at all. Integration-induced deadlocks
+// form and persist — it exists to demonstrate the problem UPP solves and
+// to validate the deadlock watchdog.
+type None struct{ BaseScheme }
+
+// Name implements Scheme.
+func (None) Name() string { return "none" }

@@ -1,0 +1,51 @@
+package network_test
+
+import (
+	"strings"
+	"testing"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+)
+
+func TestTracerCapturesLifecycle(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	n := network.MustNew(topo, network.DefaultConfig(), network.None{})
+	var b strings.Builder
+	n.SetTracer(network.WriteTracer(&b, 0))
+	cores := topo.Cores()
+	p := &message.Packet{Src: cores[0], Dst: cores[40], VNet: message.VNetRequest, Size: 1}
+	n.NI(cores[0]).Enqueue(p, 0)
+	if err := n.Drain(5000, 1000); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "inject") || !strings.Contains(out, "eject") {
+		t.Fatalf("trace missing lifecycle events:\n%s", out)
+	}
+	if !strings.Contains(out, "pkt1") {
+		t.Fatalf("trace missing packet id:\n%s", out)
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	var b strings.Builder
+	tr := network.WriteTracer(&b, 2)
+	for i := 0; i < 5; i++ {
+		tr(network.TraceEvent{Cycle: int64(i), Kind: "x", Detail: "d"})
+	}
+	if got := strings.Count(b.String(), "\n"); got != 2 {
+		t.Fatalf("limit ignored: %d lines", got)
+	}
+}
+
+func TestTracingOffByDefault(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	n := network.MustNew(topo, network.DefaultConfig(), network.None{})
+	if n.Tracing() {
+		t.Fatal("tracing on by default")
+	}
+	// Trace with no tracer must be a no-op (and not panic).
+	n.Trace("x", 0, "detail %d", 1)
+}

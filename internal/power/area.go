@@ -1,0 +1,92 @@
+// Package power models router area (Fig. 14) and network energy
+// (Fig. 15). The paper synthesizes routers with Synopsys DC at 45nm for
+// area and uses DSENT at 22nm for energy; we use component-level
+// parametric models calibrated against the paper's published baselines
+// (135,083 um^2 for the 1-VC router, 339,371 um^2 for the 4-VC router).
+// Both figures report *relative* numbers (percent overhead, normalized
+// energy), which is what the model reproduces.
+package power
+
+import (
+	"uppnoc/internal/message"
+)
+
+// Calibration constants (45nm, derived from the paper's two published
+// baseline router areas; see package comment).
+const (
+	// vcBufferArea is the area of one VC buffer (4 flits x 128 bits),
+	// per input port.
+	vcBufferArea = 4540.0 // um^2
+	// routerFixedArea covers crossbar, allocators, pipeline registers and
+	// the NI share that do not scale with VC count.
+	routerFixedArea = 66987.0 // um^2
+	// basePorts is the router radix the calibration assumed.
+	basePorts = 5
+)
+
+// UPP microarchitecture adders (Fig. 6): two 32-bit signal buffers plus
+// the circuit-connection table and multiplexers in every chiplet router;
+// per-VNet timeout counters, round-robin arbiters and the popup-state
+// table in every interposer router.
+const (
+	uppSignalBufferArea = 2080.0 // two 32-bit buffers + muxes
+	uppCircuitTableArea = 1910.0 // per-VNet connection records
+	uppNITableArea      = 1100.0 // reservation table + req/ack/stop units
+
+	uppCounterArea  = 620.0  // one timeout counter per VNet
+	uppStateArea    = 1196.0 // popup-state table + req/ack/stop units
+	uppArbiterPerVC = 161.0  // round-robin arbiter grows with VC count
+)
+
+// Remote-control adders: four data-packet-sized boundary buffers plus the
+// permission-subnetwork endpoint at every chiplet router (the paper's
+// reported overhead is charged to chiplet routers; the hard-wired
+// permission tree is wiring-dominated).
+const (
+	rcBoundaryBufferArea = 5100.0
+	rcPermissionArea     = 495.0
+)
+
+// RouterKind selects chiplet vs interposer router.
+type RouterKind int
+
+// Router kinds for the area model.
+const (
+	ChipletRouter RouterKind = iota
+	InterposerRouter
+)
+
+// BaselineRouterArea returns the baseline router area in um^2 for the
+// given VCs per VNet.
+func BaselineRouterArea(vcsPerVNet int) float64 {
+	vcs := message.NumVNets * vcsPerVNet
+	return float64(vcs)*vcBufferArea*basePorts + routerFixedArea
+}
+
+// SchemeOverheadArea returns the additional area a scheme adds to one
+// router of the given kind, in um^2.
+func SchemeOverheadArea(scheme string, kind RouterKind, vcsPerVNet int) float64 {
+	switch scheme {
+	case "composable":
+		// Turn restrictions are routing-table configuration: ~zero area.
+		return 0
+	case "remote_control":
+		if kind == ChipletRouter {
+			return rcBoundaryBufferArea + rcPermissionArea
+		}
+		return 0
+	case "upp":
+		if kind == ChipletRouter {
+			return uppSignalBufferArea + uppCircuitTableArea + uppNITableArea
+		}
+		vcs := message.NumVNets * vcsPerVNet
+		return uppStateArea + message.NumVNets*uppCounterArea + uppArbiterPerVC*float64(vcs)
+	}
+	return 0
+}
+
+// OverheadPercent returns the Fig. 14 metric: a scheme's router area
+// overhead relative to the baseline router.
+func OverheadPercent(scheme string, kind RouterKind, vcsPerVNet int) float64 {
+	return 100 * SchemeOverheadArea(scheme, kind, vcsPerVNet) / BaselineRouterArea(vcsPerVNet)
+}

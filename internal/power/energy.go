@@ -1,0 +1,70 @@
+package power
+
+import (
+	"uppnoc/internal/message"
+	"uppnoc/internal/router"
+)
+
+// Energy model (DSENT-style, 22nm, 1 GHz): per-event dynamic energies plus
+// per-cycle leakage proportional to router area. The paper observes that
+// real-benchmark traffic is light enough that static power dominates, so
+// normalized energy tracks normalized runtime (Fig. 15); the model
+// reproduces exactly that structure.
+const (
+	// Dynamic energy per event, picojoules.
+	EnergyBufferWrite = 1.20
+	EnergyBufferRead  = 1.00
+	EnergyCrossbar    = 1.50
+	EnergyLink        = 2.00
+	EnergyArbitration = 0.10
+
+	// Leakage power density: watts per um^2 of router area (22nm).
+	leakageDensity = 45e-9
+	// cycleSeconds at the 1 GHz network clock (Table II).
+	cycleSeconds = 1e-9
+)
+
+// Breakdown reports the energy split of one run.
+type Breakdown struct {
+	DynamicJ float64
+	StaticJ  float64
+}
+
+// Total returns dynamic + static energy in joules.
+func (b Breakdown) Total() float64 { return b.DynamicJ + b.StaticJ }
+
+// NetworkDescription summarizes the routers of a system for the static
+// model.
+type NetworkDescription struct {
+	ChipletRouters    int
+	InterposerRouters int
+	VCsPerVNet        int
+	Scheme            string
+}
+
+// StaticPower returns the network's total leakage in watts, including the
+// scheme's area overhead (extra hardware leaks too).
+func StaticPower(d NetworkDescription) float64 {
+	base := BaselineRouterArea(d.VCsPerVNet)
+	area := float64(d.ChipletRouters)*(base+SchemeOverheadArea(d.Scheme, ChipletRouter, d.VCsPerVNet)) +
+		float64(d.InterposerRouters)*(base+SchemeOverheadArea(d.Scheme, InterposerRouter, d.VCsPerVNet))
+	return area * leakageDensity
+}
+
+// Estimate computes the energy of a run from its duration and datapath
+// event counters.
+func Estimate(d NetworkDescription, cycles int64, s router.Stats, signalHops uint64) Breakdown {
+	dynamicPJ := float64(s.BufferWrites)*EnergyBufferWrite +
+		float64(s.BufferReads)*EnergyBufferRead +
+		float64(s.CrossbarTravs)*EnergyCrossbar +
+		float64(s.LinkTravs)*EnergyLink +
+		float64(s.SAGrants)*EnergyArbitration +
+		// UPP protocol signals are narrow (<=18 of 128 bits, Fig. 4);
+		// charge them a proportional slice of a link+crossbar event.
+		float64(signalHops)*(EnergyCrossbar+EnergyLink)*
+			float64(message.SignalBufferBits)/128.0
+	return Breakdown{
+		DynamicJ: dynamicPJ * 1e-12,
+		StaticJ:  StaticPower(d) * float64(cycles) * cycleSeconds,
+	}
+}

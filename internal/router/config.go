@@ -1,0 +1,65 @@
+// Package router models the router microarchitecture of the chiplet NoC:
+// per-VNet virtual channels with credit-based wormhole flow control, a
+// 3-stage pipeline (buffer write + route computation, switch allocation +
+// VC selection, switch traversal) with 1-cycle link traversal, and
+// separable round-robin switch allocation (Table II, Fig. 5).
+//
+// The package deliberately exposes a rich inspection/manipulation API
+// (front-flit peeking, forced dequeues, output claiming, out-of-band VC
+// sends) because the deadlock-freedom schemes of the paper — UPP's popup
+// circuit, remote control's boundary buffers — are implemented as plugins
+// layered on this datapath rather than as special cases inside it.
+package router
+
+import (
+	"fmt"
+
+	"uppnoc/internal/message"
+)
+
+// Config fixes the microarchitectural parameters shared by every router.
+type Config struct {
+	// VCsPerVNet is the number of virtual channels per virtual network
+	// (Table II: 1 or 4).
+	VCsPerVNet int
+	// BufferDepth is the flit capacity of each VC buffer (Table II: 4).
+	BufferDepth int
+	// LinkLatency in cycles (Table II: 1).
+	LinkLatency int
+	// VCT selects virtual cut-through flow control: a head flit advances
+	// only when the downstream VC can hold the whole packet, so a packet
+	// never straddles a buffer boundary mid-allocation. The paper's
+	// evaluation uses wormhole (Table II); UPP supports both (Table I's
+	// flow-control-modularity attribute). VCT requires BufferDepth >=
+	// the largest packet size.
+	VCT bool
+}
+
+// DefaultConfig returns the paper's 1-VC-per-VNet configuration.
+func DefaultConfig() Config {
+	return Config{VCsPerVNet: 1, BufferDepth: 4, LinkLatency: 1}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.VCsPerVNet < 1:
+		return fmt.Errorf("router: VCsPerVNet must be >= 1")
+	case c.BufferDepth < 1:
+		return fmt.Errorf("router: BufferDepth must be >= 1")
+	case c.LinkLatency < 1:
+		return fmt.Errorf("router: LinkLatency must be >= 1")
+	case c.VCT && c.BufferDepth < message.DataPacketFlits:
+		return fmt.Errorf("router: virtual cut-through needs BufferDepth >= %d (largest packet)", message.DataPacketFlits)
+	}
+	return nil
+}
+
+// NumVCs returns the total VC count per input port.
+func (c Config) NumVCs() int { return message.NumVNets * c.VCsPerVNet }
+
+// VCIndex maps (vnet, k) to a dense VC index.
+func (c Config) VCIndex(v message.VNet, k int) int { return int(v)*c.VCsPerVNet + k }
+
+// VCVNet recovers the virtual network of a dense VC index.
+func (c Config) VCVNet(vc int) message.VNet { return message.VNet(vc / c.VCsPerVNet) }

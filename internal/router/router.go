@@ -1,0 +1,542 @@
+package router
+
+import (
+	"fmt"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/sim"
+	"uppnoc/internal/topology"
+)
+
+// EventSink is how a router hands flits and credits to the network fabric
+// for time-delayed delivery. The network implements it.
+type EventSink interface {
+	// DeliverFlit schedules f's buffer write into VC vc of input port port
+	// of router to at the given cycle.
+	DeliverFlit(to topology.NodeID, port topology.PortID, vc int8, f message.Flit, cycle sim.Cycle)
+	// DeliverCredit schedules a credit arrival at router to's output port
+	// port for downstream VC vc: delta buffer slots (0 or 1) and, when
+	// free is set, the downstream VC has fully drained and may be
+	// reallocated. Credits addressed to the local port reach the NI.
+	DeliverCredit(to topology.NodeID, port topology.PortID, vc int8, delta int, free bool, cycle sim.Cycle)
+}
+
+// LocalSink is the NI side of a router's local port.
+type LocalSink interface {
+	// CanAcceptHead reports whether a new packet may start ejecting: a
+	// free, unreserved ejection-queue entry exists for its VNet.
+	CanAcceptHead(p *message.Packet, cycle sim.Cycle) bool
+	// AcceptFlit delivers an ejecting flit; arrival is when the NI sees
+	// it.
+	AcceptFlit(f message.Flit, arrival sim.Cycle)
+}
+
+// RouteFunc computes the output port for a packet whose head flit is at
+// router cur, having arrived through input port inPort (route computation
+// stage). Table-routed schemes (composable routing) are channel-indexed
+// and need the input port; algorithmic routing ignores it.
+type RouteFunc func(cur topology.NodeID, inPort topology.PortID, p *message.Packet) (topology.PortID, error)
+
+// Stats counts datapath events for the throughput and energy models.
+type Stats struct {
+	BufferWrites  uint64
+	BufferReads   uint64
+	CrossbarTravs uint64
+	LinkTravs     uint64
+	SARequests    uint64
+	SAGrants      uint64
+	// UpFlits counts flits sent through Up output ports (vertical
+	// utilization; UPP detection resets hang off it).
+	UpFlits uint64
+}
+
+// InPort is one input port: a set of virtual channels.
+type InPort struct {
+	VCs []VC
+	// buffered counts flits across the port's VCs so allocation can skip
+	// empty ports.
+	buffered int
+}
+
+// OutPort tracks the credit and allocation state of the downstream input
+// port this output feeds.
+type OutPort struct {
+	// Credits per downstream VC.
+	Credits []int16
+	// Busy marks downstream VCs currently allocated to a packet.
+	Busy []bool
+	rr   int // round-robin pointer over input ports for switch allocation
+}
+
+// Router is one router instance.
+type Router struct {
+	ID   topology.NodeID
+	Node *topology.Node
+	Cfg  Config
+
+	In  []InPort
+	Out []OutPort
+
+	sink  EventSink
+	local LocalSink
+	route RouteFunc
+	rng   *sim.RNG
+
+	outClaimed []bool
+	inClaimed  []bool
+	inRR       []int // per input port: round-robin pointer over VCs
+
+	// PortSent counts flits sent through each output port (link
+	// utilization and load-balance analysis).
+	PortSent []uint64
+
+	// upSent records, per cycle, which VNets sent a flit through an Up
+	// output port (UPP's timeout counters reset on it).
+	upSent uint8
+
+	// buffered counts flits currently held in this router's VCs; idle
+	// routers are skipped by the simulation loop.
+	buffered int
+
+	Stats Stats
+}
+
+// New constructs a router for node n.
+func New(n *topology.Node, cfg Config, sink EventSink, local LocalSink, route RouteFunc, rng *sim.RNG) *Router {
+	r := &Router{
+		ID:   n.ID,
+		Node: n,
+		Cfg:  cfg,
+		In:   make([]InPort, len(n.Ports)),
+		Out:  make([]OutPort, len(n.Ports)),
+
+		sink:  sink,
+		local: local,
+		route: route,
+		rng:   rng,
+
+		outClaimed: make([]bool, len(n.Ports)),
+		inClaimed:  make([]bool, len(n.Ports)),
+		inRR:       make([]int, len(n.Ports)),
+		PortSent:   make([]uint64, len(n.Ports)),
+	}
+	nvc := cfg.NumVCs()
+	for pi := range r.In {
+		r.In[pi].VCs = make([]VC, nvc)
+		for vi := range r.In[pi].VCs {
+			r.In[pi].VCs[vi].init(cfg.BufferDepth)
+		}
+		out := &r.Out[pi]
+		out.Credits = make([]int16, nvc)
+		out.Busy = make([]bool, nvc)
+		for vi := range out.Credits {
+			out.Credits[vi] = int16(cfg.BufferDepth)
+		}
+	}
+	return r
+}
+
+// SetLocal attaches the NI-facing sink. The router and its NI reference
+// each other, so the sink is wired after construction.
+func (r *Router) SetLocal(l LocalSink) { r.local = l }
+
+// Buffered returns the number of flits currently buffered in the router.
+func (r *Router) Buffered() int { return r.buffered }
+
+// VCAt returns the VC for inspection by plugins and tests.
+func (r *Router) VCAt(port topology.PortID, vc int) *VC { return &r.In[port].VCs[vc] }
+
+// ReceiveFlit performs the buffer write of a flit arriving on (port, vc).
+// The flit becomes pipeline-eligible the following cycle.
+func (r *Router) ReceiveFlit(port topology.PortID, vc int8, f message.Flit, cycle sim.Cycle) {
+	r.In[port].VCs[vc].push(f, cycle+1)
+	r.In[port].buffered++
+	r.buffered++
+	r.Stats.BufferWrites++
+}
+
+// ReceiveCredit applies a credit arriving at output port port.
+func (r *Router) ReceiveCredit(port topology.PortID, vc int8, delta int, free bool) {
+	out := &r.Out[port]
+	out.Credits[vc] += int16(delta)
+	if out.Credits[vc] > int16(r.Cfg.BufferDepth) {
+		panic("router: credit overflow (flow control bug)")
+	}
+	if free {
+		out.Busy[vc] = false
+	}
+}
+
+// ResetClaims clears per-cycle crossbar claims. The network calls it at the
+// start of every cycle, before scheme plugins run.
+func (r *Router) ResetClaims() {
+	for i := range r.outClaimed {
+		r.outClaimed[i] = false
+		r.inClaimed[i] = false
+	}
+	r.upSent = 0
+}
+
+// UpSentMask returns the per-cycle bitmask of VNets that sent a flit
+// through an Up output this cycle.
+func (r *Router) UpSentMask() uint8 { return r.upSent }
+
+// MarkUpSent records an out-of-band up-port transmission (popup flits).
+func (r *Router) MarkUpSent(v message.VNet) { r.upSent |= 1 << uint(v) }
+
+// ClaimOutput reserves output port p for an out-of-band transfer (popup
+// flit or protocol signal) this cycle. It reports whether the claim
+// succeeded.
+func (r *Router) ClaimOutput(p topology.PortID) bool {
+	if r.outClaimed[p] {
+		return false
+	}
+	r.outClaimed[p] = true
+	return true
+}
+
+// ClaimInput reserves input port p's crossbar slot this cycle.
+func (r *Router) ClaimInput(p topology.PortID) bool {
+	if r.inClaimed[p] {
+		return false
+	}
+	r.inClaimed[p] = true
+	return true
+}
+
+// OutputClaimed reports whether output p is already claimed this cycle.
+func (r *Router) OutputClaimed(p topology.PortID) bool { return r.outClaimed[p] }
+
+// Neighbor returns the (node, port) on the far side of output port p.
+func (r *Router) Neighbor(p topology.PortID) (topology.NodeID, topology.PortID) {
+	pt := &r.Node.Ports[p]
+	return pt.Neighbor, pt.NeighborPort
+}
+
+// Step runs one cycle of the router pipeline: route computation for fresh
+// head flits, separable (input-first then output) round-robin switch
+// allocation with VC selection, and switch traversal for the winners.
+func (r *Router) Step(cycle sim.Cycle) {
+	if r.buffered == 0 {
+		return
+	}
+	nports := len(r.In)
+
+	// Input arbitration: each unclaimed input port nominates one VC.
+	type nominee struct {
+		port topology.PortID
+		vc   int
+	}
+	var nominees [16]nominee // radix is small; avoid allocation
+	nn := 0
+	for pi := 0; pi < nports; pi++ {
+		if r.inClaimed[pi] || r.In[pi].buffered == 0 {
+			continue
+		}
+		if vi := r.pickInputVC(topology.PortID(pi), cycle); vi >= 0 {
+			nominees[nn] = nominee{topology.PortID(pi), vi}
+			nn++
+			r.Stats.SARequests++
+		}
+	}
+	if nn == 0 {
+		return
+	}
+	// Output arbitration: for each output port, grant one nominee.
+	for oi := 0; oi < nports; oi++ {
+		if r.outClaimed[oi] {
+			continue
+		}
+		out := &r.Out[oi]
+		granted := -1
+		// Round-robin over input ports starting after the last grant.
+		for k := 1; k <= nports; k++ {
+			pi := (out.rr + k) % nports
+			for ni := 0; ni < nn; ni++ {
+				if int(nominees[ni].port) == pi &&
+					r.In[pi].VCs[nominees[ni].vc].OutPort == topology.PortID(oi) {
+					granted = ni
+					break
+				}
+			}
+			if granted >= 0 {
+				out.rr = pi
+				break
+			}
+		}
+		if granted < 0 {
+			continue
+		}
+		nom := nominees[granted]
+		r.grant(nom.port, nom.vc, cycle)
+		// The winning input port leaves the race for other outputs.
+		nominees[granted] = nominees[nn-1]
+		nn--
+		if nn == 0 {
+			break
+		}
+	}
+}
+
+// pickInputVC selects, round-robin, one VC of input port pi that can use
+// the crossbar this cycle; it also runs route computation for fresh heads.
+// Returns -1 when no VC is eligible.
+func (r *Router) pickInputVC(pi topology.PortID, cycle sim.Cycle) int {
+	vcs := r.In[pi].VCs
+	n := len(vcs)
+	start := r.inRR[pi]
+	chosen := -1
+	for k := 1; k <= n; k++ {
+		vi := (start + k) % n
+		vc := &vcs[vi]
+		if vc.Hold {
+			// A scheme plugin owns this VC's draining.
+			continue
+		}
+		f, ok := vc.FrontReady(cycle)
+		if !ok {
+			continue
+		}
+		if f.Pkt.Popup && int16(r.Node.Chiplet) == f.Pkt.DstChiplet {
+			// Inside the destination chiplet, popup flits bypass switch
+			// allocation and drain through the circuit (Sec. V-C).
+			// Upstream — the interposer mesh and the source chiplet — the
+			// packet's trailing flits still flow normally toward the
+			// origin interposer router.
+			continue
+		}
+		// Route computation once per packet per router.
+		if f.IsHead() && !vc.routed {
+			op, err := r.route(r.ID, pi, f.Pkt)
+			if err != nil {
+				panic(fmt.Sprintf("router %d: route computation failed: %v", r.ID, err))
+			}
+			vc.OutPort = op
+			vc.State = VCWaiting
+			vc.routed = true
+		}
+		if vc.OutPort == topology.InvalidPort || r.outClaimed[vc.OutPort] {
+			continue
+		}
+		switch vc.State {
+		case VCWaiting:
+			if !r.headCanAdvance(vc, f, cycle) {
+				continue
+			}
+		case VCActive:
+			if vc.OutPort != topology.LocalPort && r.Out[vc.OutPort].Credits[vc.OutVC] <= 0 {
+				continue
+			}
+		default:
+			continue
+		}
+		chosen = vi
+		r.inRR[pi] = vi
+		break
+	}
+	return chosen
+}
+
+// headCanAdvance reports whether a Waiting head flit could be granted:
+// the local sink accepts it, or a free downstream VC with credit exists.
+func (r *Router) headCanAdvance(vc *VC, f message.Flit, cycle sim.Cycle) bool {
+	if vc.OutPort == topology.LocalPort {
+		return r.local.CanAcceptHead(f.Pkt, cycle)
+	}
+	out := &r.Out[vc.OutPort]
+	vnet := f.Pkt.VNet
+	need := int16(1)
+	if r.Cfg.VCT {
+		// Virtual cut-through: the downstream buffer must hold the whole
+		// packet before the head moves.
+		need = int16(f.Pkt.Size)
+	}
+	for k := 0; k < r.Cfg.VCsPerVNet; k++ {
+		dv := r.Cfg.VCIndex(vnet, k)
+		if !out.Busy[dv] && out.Credits[dv] >= need {
+			return true
+		}
+	}
+	return false
+}
+
+// grant performs VC selection (heads) and switch traversal for the winner.
+func (r *Router) grant(pi topology.PortID, vi int, cycle sim.Cycle) {
+	vc := &r.In[pi].VCs[vi]
+	f, _, _ := vc.Front()
+	if vc.State == VCWaiting {
+		if vc.OutPort != topology.LocalPort {
+			// VC selection: pick a random free downstream VC of the
+			// packet's VNet (the paper's randomized VCS stage).
+			out := &r.Out[vc.OutPort]
+			vnet := f.Pkt.VNet
+			need := int16(1)
+			if r.Cfg.VCT {
+				need = int16(f.Pkt.Size)
+			}
+			free := make([]int8, 0, 8)
+			for k := 0; k < r.Cfg.VCsPerVNet; k++ {
+				dv := int8(r.Cfg.VCIndex(vnet, k))
+				if !out.Busy[dv] && out.Credits[dv] >= need {
+					free = append(free, dv)
+				}
+			}
+			vc.OutVC = free[r.rng.Intn(len(free))]
+			out.Busy[vc.OutVC] = true
+		}
+		vc.State = VCActive
+	}
+	r.Stats.SAGrants++
+	r.sendFront(pi, vi, cycle)
+}
+
+// sendFront dequeues the front flit of (pi, vi) and sends it through the
+// crossbar to the VC's allocated output. Credits flow upstream; tail flits
+// release the VC.
+func (r *Router) sendFront(pi topology.PortID, vi int, cycle sim.Cycle) {
+	vc := &r.In[pi].VCs[vi]
+	f := vc.pop()
+	r.In[pi].buffered--
+	r.buffered--
+	r.Stats.BufferReads++
+	r.Stats.CrossbarTravs++
+	out := vc.OutPort
+	outVC := vc.OutVC
+	tail := f.IsTail()
+	if tail {
+		// All flits of the packet passed through; the VC is reusable. The
+		// downstream allocation is freed by the downstream router's own
+		// tail departure (free credit), not here.
+		vc.reset()
+	}
+	r.creditUpstream(pi, int8(vi), 1, tail, cycle)
+	r.PortSent[out]++
+	if out == topology.LocalPort {
+		r.local.AcceptFlit(f, cycle+1)
+		return
+	}
+	r.Stats.LinkTravs++
+	if r.Node.Ports[out].Dir == topology.Up {
+		r.Stats.UpFlits++
+		r.upSent |= 1 << uint(f.Pkt.VNet)
+	}
+	o := &r.Out[out]
+	o.Credits[outVC]--
+	if o.Credits[outVC] < 0 {
+		panic("router: sent flit without credit")
+	}
+	nb, nbPort := r.Neighbor(out)
+	r.sink.DeliverFlit(nb, nbPort, outVC, f, cycle+1+sim.Cycle(r.Cfg.LinkLatency))
+}
+
+// creditUpstream returns a buffer slot (and optionally the whole VC) to
+// whoever feeds input port pi — the upstream router, or the NI for the
+// local port.
+func (r *Router) creditUpstream(pi topology.PortID, vc int8, delta int, free bool, cycle sim.Cycle) {
+	pt := &r.Node.Ports[pi]
+	if pi == topology.LocalPort {
+		r.sink.DeliverCredit(r.ID, topology.LocalPort, vc, delta, free, cycle+1)
+		return
+	}
+	r.sink.DeliverCredit(pt.Neighbor, pt.NeighborPort, vc, delta, free, cycle+1)
+}
+
+// --- Plugin API ------------------------------------------------------------
+
+// PopFront forcibly dequeues the front flit of (port, vc) on behalf of a
+// scheme plugin (popup circuit drain, boundary-buffer absorption). Credit
+// bookkeeping toward upstream is identical to a normal send; if the flit
+// is the tail the VC resets.
+func (r *Router) PopFront(port topology.PortID, vcIdx int, cycle sim.Cycle) message.Flit {
+	vc := &r.In[port].VCs[vcIdx]
+	f := vc.pop()
+	r.In[port].buffered--
+	r.buffered--
+	r.Stats.BufferReads++
+	tail := f.IsTail()
+	if tail {
+		vc.reset()
+	}
+	r.creditUpstream(port, int8(vcIdx), 1, tail, cycle)
+	return f
+}
+
+// ForceReleaseVC resets an empty VC whose packet was diverted away from it
+// (popup drain of a partly-transmitted packet: the remaining flits bypass
+// this VC, so its tail will never arrive to free the upstream allocation).
+// Upstream learns the VC is free through a zero-delta free credit. The VC
+// may still be in the Idle state — a drained head that never reached route
+// computation leaves it Idle while the upstream allocation stands — so the
+// free credit is sent unconditionally; the caller asserts the upstream
+// allocation exists.
+func (r *Router) ForceReleaseVC(port topology.PortID, vcIdx int, cycle sim.Cycle) {
+	vc := &r.In[port].VCs[vcIdx]
+	if !vc.Empty() {
+		panic("router: ForceReleaseVC on non-empty VC")
+	}
+	vc.reset()
+	r.creditUpstream(port, int8(vcIdx), 0, true, cycle)
+}
+
+// AllocateOutputVC grabs a free downstream VC (with full credit) of vnet on
+// output out for an out-of-band sender (e.g. remote control's boundary
+// buffer). Returns -1 if none is free.
+func (r *Router) AllocateOutputVC(out topology.PortID, vnet message.VNet) int8 {
+	o := &r.Out[out]
+	for k := 0; k < r.Cfg.VCsPerVNet; k++ {
+		dv := int8(r.Cfg.VCIndex(vnet, k))
+		if !o.Busy[dv] && o.Credits[dv] > 0 {
+			o.Busy[dv] = true
+			return dv
+		}
+	}
+	return -1
+}
+
+// CreditsAvailable reports whether output out has a credit for downstream
+// VC outVC.
+func (r *Router) CreditsAvailable(out topology.PortID, outVC int8) bool {
+	return r.Out[out].Credits[outVC] > 0
+}
+
+// SendOnOutput sends f through output out into downstream VC outVC,
+// consuming one credit. The caller must have claimed the output and hold
+// the allocation from AllocateOutputVC.
+func (r *Router) SendOnOutput(out topology.PortID, outVC int8, f message.Flit, cycle sim.Cycle) {
+	o := &r.Out[out]
+	o.Credits[outVC]--
+	if o.Credits[outVC] < 0 {
+		panic("router: SendOnOutput without credit")
+	}
+	r.Stats.CrossbarTravs++
+	r.Stats.LinkTravs++
+	r.PortSent[out]++
+	if r.Node.Ports[out].Dir == topology.Up {
+		r.Stats.UpFlits++
+		r.upSent |= 1 << uint(f.Pkt.VNet)
+	}
+	nb, nbPort := r.Neighbor(out)
+	r.sink.DeliverFlit(nb, nbPort, outVC, f, cycle+1+sim.Cycle(r.Cfg.LinkLatency))
+}
+
+// SendDirect sends f through output out bypassing buffers, credits and
+// allocation — circuit-switched switch traversal for popup flits and
+// protocol signals. The caller must have claimed the output and is
+// responsible for delivering the flit on the far side (plugins keep their
+// own latches).
+func (r *Router) SendDirect(out topology.PortID) {
+	r.Stats.CrossbarTravs++
+	if out != topology.LocalPort {
+		r.Stats.LinkTravs++
+		if r.Node.Ports[out].Dir == topology.Up {
+			r.Stats.UpFlits++
+		}
+	}
+}
+
+// EjectDirect hands a flit straight to the NI (popup ejection into a
+// reserved entry). The caller must have claimed the local output.
+func (r *Router) EjectDirect(f message.Flit, cycle sim.Cycle) {
+	r.Stats.CrossbarTravs++
+	r.local.AcceptFlit(f, cycle+1)
+}

@@ -1,0 +1,113 @@
+package router
+
+import (
+	"uppnoc/internal/message"
+	"uppnoc/internal/sim"
+	"uppnoc/internal/topology"
+)
+
+// VCState tracks the wormhole allocation state of an input VC.
+type VCState uint8
+
+// VC states.
+const (
+	// VCIdle: no packet owns the VC.
+	VCIdle VCState = iota
+	// VCWaiting: a head flit is at the front, its route is computed, and
+	// the VC is requesting switch allocation + downstream VC selection.
+	VCWaiting
+	// VCActive: the packet holds a downstream VC; remaining flits stream
+	// through as credits allow.
+	VCActive
+)
+
+// bufFlit is one buffered flit plus the cycle it becomes pipeline-eligible
+// (buffer write takes the arrival cycle; SA may fire the next cycle).
+type bufFlit struct {
+	flit  message.Flit
+	ready sim.Cycle
+}
+
+// VC is one virtual channel of an input port: a fixed-depth FIFO plus
+// wormhole state.
+type VC struct {
+	buf   []bufFlit
+	head  int
+	count int
+
+	State   VCState
+	OutPort topology.PortID
+	OutVC   int8
+	// routed marks that route computation already ran for the packet at
+	// the front (RC happens once per packet per router).
+	routed bool
+	// Hold excludes the VC from normal switch allocation; a scheme plugin
+	// owns its draining (UPP holds the tracked upward packet's VC at the
+	// interposer router once its popup starts).
+	Hold bool
+}
+
+func (v *VC) init(depth int) {
+	v.buf = make([]bufFlit, depth)
+	v.reset()
+}
+
+func (v *VC) reset() {
+	v.head, v.count = 0, 0
+	v.State = VCIdle
+	v.OutPort = topology.InvalidPort
+	v.OutVC = -1
+	v.routed = false
+	v.Hold = false
+}
+
+// Len returns the number of buffered flits.
+func (v *VC) Len() int { return v.count }
+
+// Free returns the remaining buffer capacity.
+func (v *VC) Free() int { return len(v.buf) - v.count }
+
+// Empty reports whether the buffer holds no flits.
+func (v *VC) Empty() bool { return v.count == 0 }
+
+// Front returns the flit at the head of the FIFO and its readiness, without
+// removing it. ok is false when empty.
+func (v *VC) Front() (f message.Flit, ready sim.Cycle, ok bool) {
+	if v.count == 0 {
+		return message.Flit{}, 0, false
+	}
+	b := v.buf[v.head]
+	return b.flit, b.ready, true
+}
+
+// FrontReady reports whether a flit is at the front and pipeline-eligible
+// at the given cycle.
+func (v *VC) FrontReady(cycle sim.Cycle) (message.Flit, bool) {
+	f, ready, ok := v.Front()
+	if !ok || ready > cycle {
+		return message.Flit{}, false
+	}
+	return f, true
+}
+
+// push appends a flit. It panics on overflow — arrivals are credit-
+// controlled, so overflow is a flow-control bug worth failing loudly on.
+func (v *VC) push(f message.Flit, ready sim.Cycle) {
+	if v.count == len(v.buf) {
+		panic("router: VC buffer overflow (credit protocol violated)")
+	}
+	v.buf[(v.head+v.count)%len(v.buf)] = bufFlit{flit: f, ready: ready}
+	v.count++
+}
+
+// pop removes and returns the front flit.
+func (v *VC) pop() message.Flit {
+	if v.count == 0 {
+		panic("router: pop from empty VC")
+	}
+	f := v.buf[v.head].flit
+	v.buf[v.head] = bufFlit{}
+	v.head = (v.head + 1) % len(v.buf)
+	v.count--
+	return f
+}

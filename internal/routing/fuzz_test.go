@@ -1,0 +1,67 @@
+package routing_test
+
+import (
+	"testing"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/routing"
+	"uppnoc/internal/topology"
+)
+
+// FuzzHierarchicalWalk drives the hierarchical router with arbitrary
+// (src, dst, faults) combinations and asserts the walk terminates at the
+// destination without loops, under both XY (healthy) and up*/down*
+// (faulty) local routing.
+func FuzzHierarchicalWalk(f *testing.F) {
+	f.Add(uint16(0), uint16(63), uint8(0))
+	f.Add(uint16(5), uint16(70), uint8(3))
+	f.Add(uint16(79), uint16(0), uint8(10))
+	f.Fuzz(func(t *testing.T, a, b uint16, faults uint8) {
+		topo := topology.MustBuild(topology.BaselineConfig())
+		nf := int(faults % 12)
+		if nf > 0 {
+			if _, err := topo.InjectFaults(nf, uint64(faults)); err != nil {
+				t.Skip()
+			}
+		}
+		var local routing.Local
+		if nf > 0 {
+			ud, err := routing.NewUpDown(topo)
+			if err != nil {
+				t.Fatalf("up*/down* on %d faults: %v", nf, err)
+			}
+			local = ud
+		} else {
+			local = routing.NewXY(topo)
+		}
+		h := routing.NewHierarchical(topo, local)
+		src := topology.NodeID(int(a) % topo.NumNodes())
+		dst := topology.NodeID(int(b) % topo.NumNodes())
+		if src == dst {
+			return
+		}
+		p := &message.Packet{Src: src, Dst: dst, Size: 1}
+		routing.Prepare(topo, p, routing.DefaultPolicy{})
+		cur := src
+		for steps := 0; cur != dst; steps++ {
+			if steps > topo.NumNodes()*2 {
+				t.Fatalf("loop routing %d->%d (faults %d)", src, dst, nf)
+			}
+			out, err := h.NextPort(cur, p)
+			if err != nil {
+				t.Fatalf("route %d->%d at %d: %v", src, dst, cur, err)
+			}
+			if out == topology.LocalPort {
+				if cur != dst {
+					t.Fatalf("early ejection at %d routing %d->%d", cur, src, dst)
+				}
+				break
+			}
+			n := topo.Node(cur)
+			if n.Ports[out].Link.Faulty {
+				t.Fatalf("route crosses faulty link at %d", cur)
+			}
+			cur = n.Ports[out].Neighbor
+		}
+	})
+}

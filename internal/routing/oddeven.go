@@ -1,0 +1,112 @@
+package routing
+
+import (
+	"fmt"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/topology"
+)
+
+// Selector picks one output port among legal minimal candidates — the
+// adaptive selection stage. The network supplies a credit-aware selector;
+// nil falls back to the first candidate (deterministic).
+type Selector func(cur topology.NodeID, candidates []topology.PortID, p *message.Packet) topology.PortID
+
+// OddEven is minimal-adaptive odd-even routing (Chiu's turn model) for
+// regular mesh layers: deadlock-free within each layer with a single VC,
+// no global restrictions, and real path diversity — the "fully adaptive
+// network" UPP's recovery framework permits. Turns are restricted by
+// column parity:
+//
+//	rule 1: no east-to-north turn at even columns, no north-to-west turn
+//	        at odd columns;
+//	rule 2: no east-to-south turn at even columns, no south-to-west turn
+//	        at odd columns.
+//
+// The route computation below is the canonical minimal formulation of
+// those rules; at every hop one or more minimal outputs are legal and the
+// Selector chooses among them by downstream credit occupancy.
+type OddEven struct {
+	topo *topology.Topology
+	sel  Selector
+}
+
+// NewOddEven returns odd-even routing over t with the given selector.
+func NewOddEven(t *topology.Topology, sel Selector) *OddEven {
+	return &OddEven{topo: t, sel: sel}
+}
+
+// NextPort implements Local.
+func (r *OddEven) NextPort(cur, dst topology.NodeID, p *message.Packet) (topology.PortID, error) {
+	cn := r.topo.Node(cur)
+	dn := r.topo.Node(dst)
+	if cn.Chiplet != dn.Chiplet {
+		return topology.InvalidPort, fmt.Errorf("routing: odd-even across layers (%d -> %d)", cur, dst)
+	}
+	if cur == dst {
+		return topology.LocalPort, nil
+	}
+	// Track the column where the packet entered this layer (the "source
+	// column" of the odd-even formulation).
+	if p != nil && p.RouteLayer != int16(cn.Chiplet) {
+		p.RouteLayer = int16(cn.Chiplet)
+		p.LayerEntryX = int16(cn.X)
+	}
+	srcX := cn.X
+	if p != nil {
+		srcX = int(p.LayerEntryX)
+	}
+
+	dirs := oddEvenDirs(cn.X, cn.Y, dn.X, dn.Y, srcX)
+	candidates := make([]topology.PortID, 0, 2)
+	for _, d := range dirs {
+		pt := cn.PortTo(d)
+		if pt == topology.InvalidPort {
+			continue
+		}
+		if cn.Ports[pt].Link.Faulty {
+			continue
+		}
+		candidates = append(candidates, pt)
+	}
+	if len(candidates) == 0 {
+		return topology.InvalidPort, fmt.Errorf("routing: odd-even has no legal output at %d toward %d (faulty mesh? use up*/down*)", cur, dst)
+	}
+	if len(candidates) == 1 || r.sel == nil || p == nil {
+		return candidates[0], nil
+	}
+	return r.sel(cur, candidates, p), nil
+}
+
+// oddEvenDirs returns the legal minimal directions per Chiu's ROUTE
+// algorithm. Coordinates: East = +x, North = +y.
+func oddEvenDirs(curX, curY, dstX, dstY, srcX int) []topology.Direction {
+	var dirs []topology.Direction
+	dx := dstX - curX
+	dy := dstY - curY
+	vertical := topology.North
+	if dy < 0 {
+		vertical = topology.South
+	}
+	switch {
+	case dx == 0:
+		dirs = append(dirs, vertical)
+	case dx > 0: // eastbound
+		if dy == 0 {
+			dirs = append(dirs, topology.East)
+			break
+		}
+		if curX%2 == 1 || curX == srcX {
+			dirs = append(dirs, vertical)
+		}
+		if dstX%2 == 1 || dx != 1 {
+			dirs = append(dirs, topology.East)
+		}
+	default: // westbound
+		dirs = append(dirs, topology.West)
+		if curX%2 == 0 && dy != 0 {
+			dirs = append(dirs, vertical)
+		}
+	}
+	return dirs
+}

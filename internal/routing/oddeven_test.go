@@ -1,0 +1,137 @@
+package routing_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/routing"
+	"uppnoc/internal/topology"
+)
+
+func TestOddEvenAllPairsMinimal(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	oe := routing.NewOddEven(topo, nil)
+	h := routing.NewHierarchical(topo, oe)
+	// All intra-chiplet pairs: odd-even minimal routing must deliver in
+	// exactly the Manhattan distance.
+	for _, ch := range topo.Chiplets[:1] {
+		for _, src := range ch.Routers {
+			for _, dst := range ch.Routers {
+				if src == dst {
+					continue
+				}
+				path := walk(t, topo, h, src, dst)
+				sn, dn := topo.Node(src), topo.Node(dst)
+				want := abs(sn.X-dn.X) + abs(sn.Y-dn.Y)
+				if got := len(path) - 1; got != want {
+					t.Fatalf("%d->%d: %d hops, minimal %d", src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOddEvenCrossChiplet(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	h := routing.NewHierarchical(topo, routing.NewOddEven(topo, nil))
+	cores := topo.Cores()
+	for i := 0; i < len(cores); i += 5 {
+		for j := 0; j < len(cores); j += 7 {
+			if i == j {
+				continue
+			}
+			walk(t, topo, h, cores[i], cores[j])
+		}
+	}
+}
+
+// TestOddEvenTurnLegality walks every pair and asserts no forbidden turn
+// is taken — the property that makes odd-even deadlock-free.
+func TestOddEvenTurnLegality(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	oe := routing.NewOddEven(topo, nil)
+	ch := topo.Chiplets[0]
+	for _, src := range ch.Routers {
+		for _, dst := range ch.Routers {
+			if src == dst {
+				continue
+			}
+			p := &message.Packet{Src: src, Dst: dst}
+			routing.Prepare(topo, p, routing.DefaultPolicy{})
+			cur := src
+			prev := topology.Local
+			for steps := 0; cur != dst; steps++ {
+				if steps > 32 {
+					t.Fatalf("loop %d->%d", src, dst)
+				}
+				out, err := oe.NextPort(cur, dst, p)
+				if err != nil {
+					t.Fatalf("%d->%d at %d: %v", src, dst, cur, err)
+				}
+				n := topo.Node(cur)
+				dir := n.Ports[out].Dir
+				even := n.X%2 == 0
+				switch {
+				case prev == topology.East && (dir == topology.North || dir == topology.South) && even:
+					t.Fatalf("%d->%d: E->%s turn at even column (%d,%d)", src, dst, dir, n.X, n.Y)
+				case (prev == topology.North || prev == topology.South) && dir == topology.West && !even:
+					t.Fatalf("%d->%d: %s->W turn at odd column (%d,%d)", src, dst, prev, n.X, n.Y)
+				}
+				prev = dir
+				cur = n.Ports[out].Neighbor
+			}
+		}
+	}
+}
+
+// TestOddEvenSelectorInvoked: with multiple candidates the selector picks.
+func TestOddEvenSelectorInvoked(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	calls := 0
+	oe := routing.NewOddEven(topo, func(cur topology.NodeID, cands []topology.PortID, p *message.Packet) topology.PortID {
+		calls++
+		if len(cands) < 2 {
+			t.Fatalf("selector called with %d candidates", len(cands))
+		}
+		return cands[len(cands)-1]
+	})
+	ch := topo.Chiplets[0]
+	// A diagonal route has path diversity.
+	src, dst := ch.RouterAt(0, 0), ch.RouterAt(3, 3)
+	p := &message.Packet{Src: src, Dst: dst}
+	routing.Prepare(topo, p, routing.DefaultPolicy{})
+	cur := src
+	for steps := 0; cur != dst && steps < 16; steps++ {
+		out, err := oe.NextPort(cur, dst, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = topo.Node(cur).Ports[out].Neighbor
+	}
+	if calls == 0 {
+		t.Fatal("selector never invoked on a diagonal route")
+	}
+}
+
+// TestOddEvenDirsQuick property-checks that the ROUTE function always
+// offers at least one direction for distinct positions.
+func TestOddEvenDirsQuick(t *testing.T) {
+	topo := topology.MustBuild(topology.LargeConfig())
+	oe := routing.NewOddEven(topo, nil)
+	ch := topo.Chiplets[0]
+	err := quick.Check(func(a, b, c uint8) bool {
+		src := ch.Routers[int(a)%len(ch.Routers)]
+		dst := ch.Routers[int(b)%len(ch.Routers)]
+		if src == dst {
+			return true
+		}
+		p := &message.Packet{Src: src, Dst: dst}
+		routing.Prepare(topo, p, routing.DefaultPolicy{})
+		_, err := oe.NextPort(src, dst, p)
+		return err == nil
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+package routing_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/routing"
+	"uppnoc/internal/topology"
+)
+
+// walk follows a routing function from src to dst, returning the visited
+// nodes (including both endpoints). It fails the test on loops or errors.
+func walk(t *testing.T, topo *topology.Topology, h *routing.Hierarchical, src, dst topology.NodeID) []topology.NodeID {
+	t.Helper()
+	p := &message.Packet{Src: src, Dst: dst, VNet: 0, Size: 1}
+	routing.Prepare(topo, p, routing.DefaultPolicy{})
+	cur := src
+	path := []topology.NodeID{cur}
+	for cur != dst {
+		if len(path) > topo.NumNodes()*2 {
+			t.Fatalf("routing loop %d->%d: %v", src, dst, path)
+		}
+		out, err := h.NextPort(cur, p)
+		if err != nil {
+			t.Fatalf("route %d->%d at %d: %v", src, dst, cur, err)
+		}
+		if out == topology.LocalPort {
+			if cur != dst {
+				t.Fatalf("route %d->%d ejects early at %d", src, dst, cur)
+			}
+			break
+		}
+		n := topo.Node(cur)
+		cur = n.Ports[out].Neighbor
+		path = append(path, cur)
+	}
+	return path
+}
+
+func TestXYAllPairsHealthy(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	h := routing.NewHierarchical(topo, routing.NewXY(topo))
+	for i := 0; i < topo.NumNodes(); i++ {
+		for j := 0; j < topo.NumNodes(); j++ {
+			if i == j {
+				continue
+			}
+			walk(t, topo, h, topology.NodeID(i), topology.NodeID(j))
+		}
+	}
+}
+
+// TestHierarchicalCrossingPoints: inter-chiplet routes descend exactly at
+// the source-bound boundary and ascend at the destination-bound boundary
+// (the Sec. V-D static binding).
+func TestHierarchicalCrossingPoints(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	h := routing.NewHierarchical(topo, routing.NewXY(topo))
+	cores := topo.Cores()
+	for _, src := range cores[:16] { // chiplet 0
+		for _, dst := range cores[48:] { // chiplet 3
+			path := walk(t, topo, h, src, dst)
+			// Find the descent and ascent.
+			var down, up topology.NodeID = topology.InvalidNode, topology.InvalidNode
+			for k := 0; k+1 < len(path); k++ {
+				a, b := topo.Node(path[k]), topo.Node(path[k+1])
+				if a.Chiplet != topology.InterposerChiplet && b.Chiplet == topology.InterposerChiplet {
+					down = path[k]
+				}
+				if a.Chiplet == topology.InterposerChiplet && b.Chiplet != topology.InterposerChiplet {
+					up = path[k+1]
+				}
+			}
+			if down != topo.Node(src).BoundBoundary {
+				t.Fatalf("%d->%d descended at %d, bound %d", src, dst, down, topo.Node(src).BoundBoundary)
+			}
+			if up != topo.Node(dst).BoundBoundary {
+				t.Fatalf("%d->%d ascended at %d, bound %d", src, dst, up, topo.Node(dst).BoundBoundary)
+			}
+		}
+	}
+}
+
+// TestHierarchicalMinimalWithinLayers: XY segments are minimal, so the
+// total path length equals the sum of the three segment distances.
+func TestHierarchicalMinimalWithinLayers(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	h := routing.NewHierarchical(topo, routing.NewXY(topo))
+	cores := topo.Cores()
+	src, dst := cores[0], cores[63]
+	path := walk(t, topo, h, src, dst)
+	sn, dn := topo.Node(src), topo.Node(dst)
+	eb := topo.Node(sn.BoundBoundary)
+	ib := topo.Node(topo.InterposerUnder(dn.BoundBoundary))
+	egress := topo.Node(topo.InterposerUnder(sn.BoundBoundary))
+	want := manhattan(sn, eb) + 1 + manhattan(egress, ib) + 1 + manhattan(topo.Node(dn.BoundBoundary), dn)
+	if got := len(path) - 1; got != want {
+		t.Fatalf("path length %d, want %d (%v)", got, want, path)
+	}
+}
+
+func manhattan(a, b *topology.Node) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestXYRejectsFaultyLink(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	if _, err := topo.InjectFaults(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	var faulty *topology.Link
+	for _, l := range topo.Links {
+		if l.Faulty {
+			faulty = l
+		}
+	}
+	xy := routing.NewXY(topo)
+	// Routing straight across the faulty link must error.
+	p := &message.Packet{Src: faulty.A, Dst: faulty.B}
+	if _, err := xy.NextPort(faulty.A, faulty.B, p); err == nil {
+		t.Fatal("XY crossed a faulty link")
+	}
+}
+
+func TestUpDownAllPairsOnFaultySystems(t *testing.T) {
+	for _, faults := range []int{0, 5, 20} {
+		topo := topology.MustBuild(topology.BaselineConfig())
+		if faults > 0 {
+			if _, err := topo.InjectFaults(faults, uint64(faults)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ud, err := routing.NewUpDown(topo)
+		if err != nil {
+			t.Fatalf("faults=%d: %v", faults, err)
+		}
+		h := routing.NewHierarchical(topo, ud)
+		// All core pairs (sampled stride for speed) and all dirs.
+		cores := topo.Cores()
+		for i := 0; i < len(cores); i += 3 {
+			for j := 0; j < len(cores); j += 5 {
+				if i == j {
+					continue
+				}
+				path := walk(t, topo, h, cores[i], cores[j])
+				checkNoFaultyHop(t, topo, path)
+			}
+			path := walk(t, topo, h, cores[i], topo.Interposer[5])
+			checkNoFaultyHop(t, topo, path)
+		}
+	}
+}
+
+func checkNoFaultyHop(t *testing.T, topo *topology.Topology, path []topology.NodeID) {
+	t.Helper()
+	for k := 0; k+1 < len(path); k++ {
+		n := topo.Node(path[k])
+		pt := n.PortToNeighbor(path[k+1])
+		if pt == topology.InvalidPort {
+			t.Fatalf("path hop %d->%d has no link", path[k], path[k+1])
+		}
+		if n.Ports[pt].Link.Faulty {
+			t.Fatalf("path crosses faulty link %d->%d", path[k], path[k+1])
+		}
+	}
+}
+
+// TestUpDownPhaseLegality: within each layer segment, no "up" tree move
+// may follow a "down" move — the property that makes up*/down* deadlock
+// free.
+func TestUpDownPhaseLegality(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	if _, err := topo.InjectFaults(10, 3); err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk all intra-layer pairs in chiplet 0 and verify phase
+	// monotonicity via the packet's DownPhase bit.
+	nodes := topo.Chiplets[0].Routers
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			p := &message.Packet{Src: src, Dst: dst}
+			routing.Prepare(topo, p, routing.DefaultPolicy{})
+			cur := src
+			wasDown := false
+			for steps := 0; cur != dst; steps++ {
+				if steps > 64 {
+					t.Fatalf("loop %d->%d", src, dst)
+				}
+				out, err := ud.NextPort(cur, dst, p)
+				if err != nil {
+					t.Fatalf("%d->%d at %d: %v", src, dst, cur, err)
+				}
+				if wasDown && !p.DownPhase {
+					t.Fatalf("%d->%d: phase reset mid-layer", src, dst)
+				}
+				wasDown = p.DownPhase
+				cur = topo.Node(cur).Ports[out].Neighbor
+			}
+		}
+	}
+}
+
+// TestPrepareFields: Prepare stamps egress/ingress correctly for the three
+// packet categories of Sec. V-D.
+func TestPrepareFields(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	cores := topo.Cores()
+	intra := &message.Packet{Src: cores[0], Dst: cores[5]}
+	routing.Prepare(topo, intra, routing.DefaultPolicy{})
+	if intra.EgressBoundary != topology.InvalidNode {
+		t.Fatal("intra-chiplet packet has an egress boundary")
+	}
+	cross := &message.Packet{Src: cores[0], Dst: cores[63]}
+	routing.Prepare(topo, cross, routing.DefaultPolicy{})
+	if cross.EgressBoundary != topo.Node(cores[0]).BoundBoundary {
+		t.Fatal("wrong egress boundary")
+	}
+	if cross.IngressInterposer != topo.InterposerUnder(topo.Node(cores[63]).BoundBoundary) {
+		t.Fatal("wrong ingress interposer")
+	}
+	toDir := &message.Packet{Src: cores[0], Dst: topo.Interposer[3]}
+	routing.Prepare(topo, toDir, routing.DefaultPolicy{})
+	if toDir.EgressBoundary == topology.InvalidNode {
+		t.Fatal("core-to-directory packet needs an egress boundary")
+	}
+	if toDir.IngressInterposer != topology.InvalidNode {
+		t.Fatal("interposer-destined packet must not have an ingress interposer")
+	}
+	fromDir := &message.Packet{Src: topo.Interposer[3], Dst: cores[10]}
+	routing.Prepare(topo, fromDir, routing.DefaultPolicy{})
+	if fromDir.EgressBoundary != topology.InvalidNode {
+		t.Fatal("interposer-sourced packet must not have an egress boundary")
+	}
+}
+
+// TestRandomPairsQuick property-checks hierarchical XY routing.
+func TestRandomPairsQuick(t *testing.T) {
+	topo := topology.MustBuild(topology.LargeConfig())
+	h := routing.NewHierarchical(topo, routing.NewXY(topo))
+	err := quick.Check(func(a, b uint16) bool {
+		cores := topo.Cores()
+		src := cores[int(a)%len(cores)]
+		dst := cores[int(b)%len(cores)]
+		if src == dst {
+			return true
+		}
+		walk(t, topo, h, src, dst)
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpDownOnHeterogeneousSystem: the spanning-tree tables must build
+// and route on mixed-size chiplets too.
+func TestUpDownOnHeterogeneousSystem(t *testing.T) {
+	topo, err := topology.BuildHetero(topology.HeteroExampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := routing.NewHierarchical(topo, ud)
+	cores := topo.Cores()
+	for i := 0; i < len(cores); i += 4 {
+		for j := 1; j < len(cores); j += 9 {
+			if i == j {
+				continue
+			}
+			walk(t, topo, h, cores[i], cores[j])
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package routing
+
+import (
+	"fmt"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/topology"
+)
+
+// UpDown is up*/down* routing (Autonet-style, as used by ARIADNE-class
+// reconfiguration schemes) for irregular or faulty layers. Each layer gets
+// a BFS spanning tree rooted at its first router; every healthy link is
+// oriented "up" toward the root (lower BFS level, ties by lower ID). A
+// legal route traverses zero or more up links followed by zero or more
+// down links, which makes the layer's channel dependency graph acyclic —
+// deadlock-free within the layer regardless of which links are faulty.
+//
+// Routes are precomputed as shortest legal paths, so UpDown degrades to
+// near-minimal routing when few links are faulty (Fig. 11's graceful
+// degradation).
+type UpDown struct {
+	topo *topology.Topology
+	// next[layerKey][cur][phase][dst] = port, with per-layer dense node
+	// indexes. phase 0 = may still go up, 1 = committed to down.
+	layers map[int]*updownLayer
+}
+
+type updownLayer struct {
+	index map[topology.NodeID]int
+	nodes []topology.NodeID
+	// next[phase][cur*len+dst] holds the output port and the phase after
+	// taking it.
+	next [2][]updownHop
+}
+
+type updownHop struct {
+	port      topology.PortID
+	nextPhase uint8
+}
+
+// NewUpDown builds up*/down* tables for every layer of t using only the
+// healthy links. It fails if a layer is disconnected or some pair has no
+// legal route (cannot happen on a connected layer: root paths are always
+// legal).
+func NewUpDown(t *topology.Topology) (*UpDown, error) {
+	u := &UpDown{topo: t, layers: map[int]*updownLayer{}}
+	build := func(layer int) error {
+		l, err := buildUpDownLayer(t, t.LayerNodes(layer))
+		if err != nil {
+			return fmt.Errorf("routing: layer %d: %w", layer, err)
+		}
+		u.layers[layer] = l
+		return nil
+	}
+	if err := build(topology.InterposerChiplet); err != nil {
+		return nil, err
+	}
+	for ci := range t.Chiplets {
+		if err := build(ci); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// NextPort implements Local.
+func (u *UpDown) NextPort(cur, dst topology.NodeID, p *message.Packet) (topology.PortID, error) {
+	cn := u.topo.Node(cur)
+	layer := cn.Chiplet
+	if u.topo.Node(dst).Chiplet != layer {
+		return topology.InvalidPort, fmt.Errorf("routing: up*/down* across layers (%d -> %d)", cur, dst)
+	}
+	l := u.layers[layer]
+	if l == nil {
+		return topology.InvalidPort, fmt.Errorf("routing: no up*/down* table for layer %d", layer)
+	}
+	if p != nil && p.RouteLayer != int16(layer) {
+		// First hop in a new layer: the packet may go up again.
+		p.DownPhase = false
+		p.RouteLayer = int16(layer)
+	}
+	phase := 0
+	if p != nil && p.DownPhase {
+		phase = 1
+	}
+	ci, di := l.index[cur], l.index[dst]
+	hop := l.next[phase][ci*len(l.nodes)+di]
+	if hop.port == topology.InvalidPort {
+		return topology.InvalidPort, fmt.Errorf("routing: no legal up*/down* route %d -> %d (phase %d)", cur, dst, phase)
+	}
+	if p != nil && hop.nextPhase == 1 {
+		p.DownPhase = true
+	}
+	return hop.port, nil
+}
+
+// buildUpDownLayer computes the spanning-tree orientation and shortest
+// legal next hops for one layer.
+func buildUpDownLayer(t *topology.Topology, nodes []topology.NodeID) (*updownLayer, error) {
+	l := &updownLayer{index: make(map[topology.NodeID]int, len(nodes)), nodes: nodes}
+	for i, id := range nodes {
+		l.index[id] = i
+	}
+	n := len(nodes)
+
+	// BFS levels from the root over healthy intra-layer links.
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		ci := queue[0]
+		queue = queue[1:]
+		cn := t.Node(nodes[ci])
+		for pi := 1; pi < len(cn.Ports); pi++ {
+			pt := &cn.Ports[pi]
+			if pt.Link.Faulty || pt.Link.Vertical {
+				continue
+			}
+			ni, ok := l.index[pt.Neighbor]
+			if !ok {
+				continue
+			}
+			if level[ni] < 0 {
+				level[ni] = level[ci] + 1
+				queue = append(queue, ni)
+			}
+		}
+	}
+	for i, lv := range level {
+		if lv < 0 {
+			return nil, fmt.Errorf("node %d unreachable from layer root", nodes[i])
+		}
+	}
+
+	// isUp reports whether moving cur->nb traverses the link in the "up"
+	// direction (toward the root).
+	isUp := func(ci, ni int) bool {
+		if level[ni] != level[ci] {
+			return level[ni] < level[ci]
+		}
+		return nodes[ni] < nodes[ci]
+	}
+
+	for phase := 0; phase < 2; phase++ {
+		l.next[phase] = make([]updownHop, n*n)
+		for i := range l.next[phase] {
+			l.next[phase][i] = updownHop{port: topology.InvalidPort}
+		}
+	}
+
+	// For each destination, BFS over the reversed legality graph of
+	// states (node, phase) to get distances, then pick the best forward
+	// move per state.
+	type state struct{ node, phase int }
+	dist := make([]int, 2*n)
+	for di := 0; di < n; di++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		// Arriving at the destination is legal in either phase.
+		q := []state{{di, 0}, {di, 1}}
+		dist[di*2+0], dist[di*2+1] = 0, 0
+		for len(q) > 0 {
+			s := q[0]
+			q = q[1:]
+			cn := t.Node(nodes[s.node])
+			// Find predecessors v such that v --move--> s is legal.
+			for pi := 1; pi < len(cn.Ports); pi++ {
+				pt := &cn.Ports[pi]
+				if pt.Link.Faulty || pt.Link.Vertical {
+					continue
+				}
+				vi, ok := l.index[pt.Neighbor]
+				if !ok {
+					continue
+				}
+				// Move v -> s.node. It is an up move iff s.node is the
+				// up end relative to v.
+				up := isUp(vi, s.node)
+				var prevPhases []int
+				if up {
+					// Up moves keep phase 0 and require phase 0.
+					if s.phase == 0 {
+						prevPhases = []int{0}
+					}
+				} else {
+					// Down moves land in phase 1 from either phase.
+					if s.phase == 1 {
+						prevPhases = []int{0, 1}
+					}
+				}
+				for _, pp := range prevPhases {
+					if dist[vi*2+pp] < 0 {
+						dist[vi*2+pp] = dist[s.node*2+s.phase] + 1
+						q = append(q, state{vi, pp})
+					}
+				}
+			}
+		}
+		// Forward next-hop selection.
+		for ci := 0; ci < n; ci++ {
+			if ci == di {
+				for phase := 0; phase < 2; phase++ {
+					l.next[phase][ci*n+di] = updownHop{port: topology.LocalPort, nextPhase: uint8(phase)}
+				}
+				continue
+			}
+			cn := t.Node(nodes[ci])
+			for phase := 0; phase < 2; phase++ {
+				best := updownHop{port: topology.InvalidPort}
+				bestD := -1
+				for pi := 1; pi < len(cn.Ports); pi++ {
+					pt := &cn.Ports[pi]
+					if pt.Link.Faulty || pt.Link.Vertical {
+						continue
+					}
+					ni, ok := l.index[pt.Neighbor]
+					if !ok {
+						continue
+					}
+					up := isUp(ci, ni)
+					if up && phase == 1 {
+						continue // committed to down
+					}
+					nextPhase := phase
+					if !up {
+						nextPhase = 1
+					}
+					d := dist[ni*2+nextPhase]
+					if d < 0 {
+						continue
+					}
+					if bestD < 0 || d < bestD {
+						bestD = d
+						best = updownHop{port: topology.PortID(pi), nextPhase: uint8(nextPhase)}
+					}
+				}
+				l.next[phase][ci*n+di] = best
+			}
+		}
+	}
+	// Every (cur, dst) pair must be routable from phase 0.
+	for ci := 0; ci < n; ci++ {
+		for di := 0; di < n; di++ {
+			if l.next[0][ci*n+di].port == topology.InvalidPort {
+				return nil, fmt.Errorf("no legal route %d -> %d", nodes[ci], nodes[di])
+			}
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,100 @@
+package topology
+
+import (
+	"fmt"
+
+	"uppnoc/internal/sim"
+)
+
+// InjectFaults marks n randomly chosen mesh links faulty (Fig. 11's faulty
+// systems), never breaking connectivity of any layer and never touching
+// vertical links (a dead vertical link would partition inter-chiplet
+// traffic for chiplets with a single boundary router; the paper faults the
+// mesh fabric). The choice is deterministic in seed. It returns the faulted
+// links.
+func (t *Topology) InjectFaults(n int, seed uint64) ([]*Link, error) {
+	rng := sim.NewRNG(seed)
+	candidates := make([]*Link, 0, len(t.Links))
+	for _, l := range t.Links {
+		if !l.Vertical && !l.Faulty {
+			candidates = append(candidates, l)
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	var faulted []*Link
+	for _, l := range candidates {
+		if len(faulted) == n {
+			break
+		}
+		l.Faulty = true
+		if t.LayerConnected(t.Node(l.A).Chiplet) {
+			faulted = append(faulted, l)
+		} else {
+			l.Faulty = false
+		}
+	}
+	if len(faulted) < n {
+		for _, l := range faulted {
+			l.Faulty = false
+		}
+		return nil, fmt.Errorf("topology: could only fault %d of %d links without disconnecting a layer", len(faulted), n)
+	}
+	return faulted, nil
+}
+
+// ClearFaults restores every link to healthy.
+func (t *Topology) ClearFaults() {
+	for _, l := range t.Links {
+		l.Faulty = false
+	}
+}
+
+// LayerNodes returns the router IDs of one layer: a chiplet index, or
+// InterposerChiplet for the interposer.
+func (t *Topology) LayerNodes(chiplet int) []NodeID {
+	if chiplet == InterposerChiplet {
+		return t.Interposer
+	}
+	return t.Chiplets[chiplet].Routers
+}
+
+// LayerConnected reports whether the given layer's healthy mesh links form
+// a connected graph over the layer's routers.
+func (t *Topology) LayerConnected(chiplet int) bool {
+	nodes := t.LayerNodes(chiplet)
+	if len(nodes) == 0 {
+		return true
+	}
+	visited := make(map[NodeID]bool, len(nodes))
+	queue := []NodeID{nodes[0]}
+	visited[nodes[0]] = true
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		n := t.Node(id)
+		for pi := 1; pi < len(n.Ports); pi++ {
+			p := &n.Ports[pi]
+			if p.Link.Faulty || p.Link.Vertical {
+				continue
+			}
+			if !visited[p.Neighbor] {
+				visited[p.Neighbor] = true
+				queue = append(queue, p.Neighbor)
+			}
+		}
+	}
+	return len(visited) == len(nodes)
+}
+
+// NumFaulty returns the number of currently faulty links.
+func (t *Topology) NumFaulty() int {
+	n := 0
+	for _, l := range t.Links {
+		if l.Faulty {
+			n++
+		}
+	}
+	return n
+}

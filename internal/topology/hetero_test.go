@@ -1,0 +1,76 @@
+package topology_test
+
+import (
+	"testing"
+
+	"uppnoc/internal/topology"
+)
+
+func TestHeteroExampleBuilds(t *testing.T) {
+	topo, err := topology.BuildHetero(topology.HeteroExampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Chiplets); got != 4 {
+		t.Fatalf("%d chiplets", got)
+	}
+	wantCores := 6*4 + 4*4 + 4*4 + 2*2
+	if got := len(topo.Cores()); got != wantCores {
+		t.Fatalf("%d cores, want %d", got, wantCores)
+	}
+	// Chiplets are differently sized.
+	if topo.Chiplets[0].Width == topo.Chiplets[3].Width {
+		t.Fatal("expected heterogeneous chiplet sizes")
+	}
+	// Every chiplet has its requested boundary count.
+	for i, want := range []int{4, 4, 2, 1} {
+		if got := len(topo.Chiplets[i].Boundary); got != want {
+			t.Fatalf("chiplet %d: %d boundary routers, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHeteroValidation(t *testing.T) {
+	bad := topology.HeteroExampleConfig()
+	// Overlap two regions.
+	bad.Chiplets[1].RegionX = 0
+	if _, err := topology.BuildHetero(bad); err == nil {
+		t.Fatal("overlapping regions accepted")
+	}
+	bad = topology.HeteroExampleConfig()
+	bad.Chiplets[0].RegionW = 9
+	if _, err := topology.BuildHetero(bad); err == nil {
+		t.Fatal("out-of-bounds region accepted")
+	}
+	bad = topology.HeteroExampleConfig()
+	bad.Chiplets[2].W = 1
+	if _, err := topology.BuildHetero(bad); err == nil {
+		t.Fatal("degenerate chiplet accepted")
+	}
+	bad = topology.HeteroExampleConfig()
+	bad.Chiplets = nil
+	if _, err := topology.BuildHetero(bad); err == nil {
+		t.Fatal("empty system accepted")
+	}
+}
+
+func TestHeteroBinding(t *testing.T) {
+	topo, err := topology.BuildHetero(topology.HeteroExampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range topo.Chiplets {
+		for _, id := range ch.Routers {
+			n := topo.Node(id)
+			if n.BoundBoundary == topology.InvalidNode {
+				t.Fatalf("node %d unbound", id)
+			}
+			if topo.Node(n.BoundBoundary).Chiplet != n.Chiplet {
+				t.Fatalf("node %d bound across chiplets", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package traffic_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uppnoc/internal/network"
+	"uppnoc/internal/sim"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+// TestBitPatternsArePermutations: the deterministic patterns must be
+// bijections over power-of-two core counts, or some cores would be doubly
+// loaded.
+func TestBitPatternsArePermutations(t *testing.T) {
+	for _, pat := range []traffic.Pattern{traffic.BitComplement{}, traffic.BitRotation{}, traffic.Transpose{}} {
+		for _, n := range []int{16, 64, 128} {
+			seen := make([]bool, n)
+			for s := 0; s < n; s++ {
+				d := pat.Dest(s, n, nil)
+				if d < 0 || d >= n {
+					t.Fatalf("%s: dest %d out of range for src %d", pat.Name(), d, s)
+				}
+				if seen[d] {
+					t.Fatalf("%s: dest %d hit twice (n=%d)", pat.Name(), d, n)
+				}
+				seen[d] = true
+			}
+		}
+	}
+}
+
+func TestBitComplementInvolution(t *testing.T) {
+	err := quick.Check(func(s16 uint16) bool {
+		n := 64
+		s := int(s16) % n
+		p := traffic.BitComplement{}
+		return p.Dest(p.Dest(s, n, nil), n, nil) == s
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRandomInRange(t *testing.T) {
+	rng := sim.NewRNG(3)
+	p := traffic.UniformRandom{}
+	counts := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		counts[p.Dest(0, 16, rng)]++
+	}
+	for d, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("dest %d drawn %d times of 16000 (expected ~1000)", d, c)
+		}
+	}
+}
+
+func TestPatternByName(t *testing.T) {
+	for _, p := range traffic.Patterns() {
+		got, err := traffic.PatternByName(p.Name())
+		if err != nil || got.Name() != p.Name() {
+			t.Fatalf("lookup %q failed", p.Name())
+		}
+	}
+	if _, err := traffic.PatternByName("nope"); err == nil {
+		t.Fatal("expected error for unknown pattern")
+	}
+}
+
+// TestOfferedLoadAccuracy: the generator's injected flit rate must track
+// the requested rate.
+func TestOfferedLoadAccuracy(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	n := network.MustNew(topo, network.DefaultConfig(), network.None{})
+	const rate = 0.02
+	g := traffic.NewGenerator(n, traffic.UniformRandom{}, rate, 5)
+	const cycles = 20000
+	g.Run(cycles)
+	offered := float64(n.Stats.InjectedFlits+pendingFlits(n)) / float64(cycles) / float64(len(topo.Cores()))
+	if math.Abs(offered-rate) > rate*0.15 {
+		t.Fatalf("offered %.4f, want ~%.4f", offered, rate)
+	}
+}
+
+func pendingFlits(n *network.Network) uint64 {
+	// Flits of packets still queued count toward offered load.
+	var inQ uint64
+	for _, ni := range n.NIs {
+		inQ += uint64(ni.Pending())
+	}
+	return inQ // approximation: >=1 flit each; only used with tolerance
+}
+
+// TestControlDataMix: roughly half the packets are 1-flit control packets.
+func TestControlDataMix(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	n := network.MustNew(topo, network.DefaultConfig(), network.None{})
+	g := traffic.NewGenerator(n, traffic.UniformRandom{}, 0.02, 5)
+	g.Run(20000)
+	pkts := n.Stats.InjectedPackets
+	flits := n.Stats.InjectedFlits
+	if pkts < 100 {
+		t.Fatalf("too few packets: %d", pkts)
+	}
+	avg := float64(flits) / float64(pkts)
+	// 50/50 mix of 1- and 5-flit packets has mean 3.
+	if avg < 2.6 || avg > 3.4 {
+		t.Fatalf("average packet size %.2f, want ~3", avg)
+	}
+}
+
+// TestDeterministicWorkload: same seed, same injections.
+func TestDeterministicWorkload(t *testing.T) {
+	run := func() (uint64, uint64) {
+		topo := topology.MustBuild(topology.BaselineConfig())
+		n := network.MustNew(topo, network.DefaultConfig(), network.None{})
+		g := traffic.NewGenerator(n, traffic.Transpose{}, 0.02, 77)
+		g.Run(5000)
+		return n.Stats.BornPackets, n.Stats.EjectedFlits
+	}
+	b1, e1 := run()
+	b2, e2 := run()
+	if b1 != b2 || e1 != e2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", b1, e1, b2, e2)
+	}
+}
+
+// TestBitPatternsOnNonPowerOfTwo: heterogeneous systems have arbitrary
+// core counts; bit patterns must fold out-of-range images instead of
+// crashing the generator.
+func TestBitPatternsOnNonPowerOfTwo(t *testing.T) {
+	topo, err := topology.BuildHetero(topology.HeteroExampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(topo.Cores()); n&(n-1) == 0 {
+		t.Fatalf("example hetero system has %d cores — expected non-power-of-two", n)
+	}
+	for _, pat := range []traffic.Pattern{traffic.BitComplement{}, traffic.BitRotation{}, traffic.Transpose{}} {
+		n := network.MustNew(topo, network.DefaultConfig(), network.None{})
+		g := traffic.NewGenerator(n, pat, 0.02, 9)
+		g.Run(3000) // would panic without destination folding
+		if n.Stats.BornPackets == 0 {
+			t.Fatalf("%s generated nothing", pat.Name())
+		}
+	}
+}
