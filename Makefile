@@ -17,12 +17,15 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/network/
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Regenerate the paper's evaluation (quick durations; ~30 min).
+# Regenerate the paper's evaluation (quick durations). Runs fan out across
+# GOMAXPROCS workers (override with UPP_JOBS or `-jobs`); the output is
+# bit-identical at any worker count. ~30 min single-threaded, divided by
+# roughly the core count otherwise.
 figures:
 	$(GO) run ./cmd/figures -exp all -csv results/ | tee results_all.txt
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"runtime"
 	"testing"
 
 	"uppnoc/internal/coherence"
@@ -274,6 +275,58 @@ func BenchmarkVCTUPP(b *testing.B) {
 		Pattern: traffic.UniformRandom{}, Rate: 0.03, Seed: 3, Dur: benchDur,
 		VCT: true,
 	})
+}
+
+// benchSweepJobs runs the Fig. 7-style UPP rate sweep through the worker
+// pool at a given job count — the speedup of BenchmarkSweepJobsMax over
+// BenchmarkSweepJobs1 is the parallel sweep engine's payoff.
+func benchSweepJobs(b *testing.B, jobs int) {
+	b.Helper()
+	spec := experiments.RunSpec{
+		Topo:       topology.BaselineConfig(),
+		Scheme:     experiments.SchemeUPP,
+		VCsPerVNet: 1,
+		Pattern:    traffic.UniformRandom{},
+		Seed:       11,
+		Dur:        benchDur,
+	}
+	var pts int
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.SweepRatesWith(spec, experiments.DefaultRates(), "bench",
+			experiments.PoolOptions{Jobs: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = len(c.Points)
+	}
+	b.ReportMetric(float64(pts), "points/sweep")
+}
+
+func BenchmarkSweepJobs1(b *testing.B) { benchSweepJobs(b, 1) }
+func BenchmarkSweepJobsMax(b *testing.B) {
+	benchSweepJobs(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkRunAllMixedBatch fans a mixed scheme batch across the pool —
+// the RunAll fast path the figure runners sit on.
+func BenchmarkRunAllMixedBatch(b *testing.B) {
+	var specs []experiments.RunSpec
+	for _, sch := range experiments.ComparedSchemes() {
+		specs = append(specs, experiments.RunSpec{
+			Topo:       topology.BaselineConfig(),
+			Scheme:     sch,
+			VCsPerVNet: 1,
+			Pattern:    traffic.UniformRandom{},
+			Rate:       0.03,
+			Seed:       3,
+			Dur:        benchDur,
+		})
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(specs, experiments.PoolOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (cycles/sec)

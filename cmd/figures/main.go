@@ -7,10 +7,15 @@
 //	figures -exp fig7,fig14 -full    # selected experiments, paper-length runs
 //	figures -exp fig8 -scale 0.2     # full-system figures at reduced quota
 //	figures -exp fig7 -csv out/      # also write CSV files
+//	figures -exp fig7 -jobs 8        # eight parallel simulation workers
 //
 // Experiments: table1 table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 load_balance tail_latency ablation (fig8/fig12/fig15 run
 // together as "fullsystem").
+//
+// Simulation points fan out across a worker pool (-jobs, or UPP_JOBS,
+// defaulting to GOMAXPROCS); the output is bit-identical at any worker
+// count.
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 		scale = flag.Float64("scale", 0.25, "full-system benchmark access-quota scale (1.0 = calibrated profile)")
 		csv   = flag.String("csv", "", "directory to also write CSV files into")
 		quiet = flag.Bool("q", false, "suppress progress output")
+		jobs  = flag.Int("jobs", 0, "parallel simulation workers (0 = UPP_JOBS env or GOMAXPROCS); results are bit-identical at any value")
 	)
 	flag.Parse()
 
@@ -43,6 +49,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	opts := experiments.PoolOptions{Jobs: *jobs, Progress: progress}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -67,40 +74,40 @@ func main() {
 		tables = append(tables, experiments.Table2())
 	}
 	if all || want["fig2"] {
-		add(experiments.Fig2(progress))
+		add(experiments.Fig2(opts))
 	}
 	if all || want["fig7"] {
-		add(experiments.Fig7(dur, progress))
+		add(experiments.Fig7(dur, opts))
 	}
 	if fullSystemWanted {
-		add(experiments.FullSystem(*scale, progress))
+		add(experiments.FullSystem(*scale, opts))
 	}
 	if all || want["fig9"] {
-		add(experiments.Fig9(dur, progress))
+		add(experiments.Fig9(dur, opts))
 	}
 	if all || want["fig10"] {
-		add(experiments.Fig10(dur, progress))
+		add(experiments.Fig10(dur, opts))
 	}
 	if all || want["fig11"] {
-		add(experiments.Fig11(dur, progress))
+		add(experiments.Fig11(dur, opts))
 	}
 	if all || want["fig13"] {
-		add(experiments.Fig13(dur, progress))
+		add(experiments.Fig13(dur, opts))
 	}
 	if all || want["fig14"] {
 		tables = append(tables, experiments.Fig14())
 	}
 	if all || want["load_balance"] {
-		add(experiments.LoadBalance(dur, progress))
+		add(experiments.LoadBalance(dur, opts))
 	}
 	if all || want["tail_latency"] {
-		add(experiments.TailLatency(dur, progress))
+		add(experiments.TailLatency(dur, opts))
 	}
 	if all || want["ablation"] {
-		add(experiments.AblationBinding(dur, progress))
-		add(experiments.AblationAdaptive(dur, progress))
-		add(experiments.AblationBufferDepth(dur, progress))
-		add(experiments.AblationSignalGap(dur, progress))
+		add(experiments.AblationBinding(dur, opts))
+		add(experiments.AblationAdaptive(dur, opts))
+		add(experiments.AblationBufferDepth(dur, opts))
+		add(experiments.AblationSignalGap(dur, opts))
 	}
 
 	if len(tables) == 0 {

@@ -199,6 +199,10 @@ func New(cfg Config) *UPP {
 // Name implements network.Scheme.
 func (u *UPP) Name() string { return "upp" }
 
+// Config returns the effective configuration after New's defaulting
+// (threshold sweeps and configuration-propagation tests).
+func (u *UPP) Config() Config { return u.cfg }
+
 // Policy implements network.Scheme — UPP uses the static binding unless
 // an ablation policy was configured.
 func (u *UPP) Policy() routing.BoundaryPolicy {

@@ -19,7 +19,7 @@ import (
 // AblationBinding compares UPP under four egress-binding policies. The
 // paper's argument: static closest binding is minimal; anything else
 // lengthens paths and costs latency and throughput.
-func AblationBinding(dur Durations, progress Progress) ([]Table, error) {
+func AblationBinding(dur Durations, opts PoolOptions) ([]Table, error) {
 	t := Table{
 		ID:     "ablation_binding",
 		Title:  "Egress boundary binding policies under UPP (Sec. V-D design argument)",
@@ -28,23 +28,27 @@ func AblationBinding(dur Durations, progress Progress) ([]Table, error) {
 			"static closest binding should dominate: lowest latency and highest (or tied) throughput",
 		},
 	}
+	// Each policy is built fresh inside the override so every run owns its
+	// policy instance: RandomEgressPolicy carries a mutable RNG, and a
+	// shared instance would make runs order-dependent (and race under the
+	// parallel pool).
 	policies := []struct {
 		name   string
-		policy routing.BoundaryPolicy
+		policy func() routing.BoundaryPolicy
 	}{
-		{"static_closest", nil},
-		{"random", routing.NewRandomEgressPolicy(99)},
-		{"farthest", routing.FarthestEgressPolicy{}},
-		{"single_boundary", routing.SingleEgressPolicy{}},
+		{"static_closest", func() routing.BoundaryPolicy { return nil }},
+		{"random", func() routing.BoundaryPolicy { return routing.NewRandomEgressPolicy(99) }},
+		{"farthest", func() routing.BoundaryPolicy { return routing.FarthestEgressPolicy{} }},
+		{"single_boundary", func() routing.BoundaryPolicy { return routing.SingleEgressPolicy{} }},
 	}
 	for _, pc := range policies {
-		progress.log("ablation_binding: %s", pc.name)
-		cfg := core.DefaultConfig()
-		cfg.Policy = pc.policy
+		opts.Progress.log("ablation_binding: %s", pc.name)
+		makePolicy := pc.policy
 		spec := RunSpec{
 			Topo: topology.BaselineConfig(),
 			SchemeOverride: func(*topology.Topology) (network.Scheme, error) {
-				c := cfg
+				c := core.DefaultConfig()
+				c.Policy = makePolicy()
 				return core.New(c), nil
 			},
 			VCsPerVNet: 1,
@@ -52,7 +56,7 @@ func AblationBinding(dur Durations, progress Progress) ([]Table, error) {
 			Seed:       61,
 			Dur:        dur,
 		}
-		c, err := SweepRates(spec, DefaultRates(), pc.name)
+		c, err := SweepRatesWith(spec, DefaultRates(), pc.name, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +74,7 @@ func AblationBinding(dur Durations, progress Progress) ([]Table, error) {
 // AblationAdaptive compares UPP over XY local routing against UPP over
 // minimal-adaptive odd-even routing — the "fully adaptive network" the
 // recovery framework enables (Sec. IV-B's full-path-diversity claim).
-func AblationAdaptive(dur Durations, progress Progress) ([]Table, error) {
+func AblationAdaptive(dur Durations, opts PoolOptions) ([]Table, error) {
 	t := Table{
 		ID:     "ablation_adaptive",
 		Title:  "UPP with XY vs minimal-adaptive odd-even local routing",
@@ -86,7 +90,7 @@ func AblationAdaptive(dur Durations, progress Progress) ([]Table, error) {
 			if adaptive {
 				name = "odd_even"
 			}
-			progress.log("ablation_adaptive: %s %s", pat.Name(), name)
+			opts.Progress.log("ablation_adaptive: %s %s", pat.Name(), name)
 			a := adaptive
 			spec := RunSpec{
 				Topo: topology.BaselineConfig(),
@@ -99,7 +103,7 @@ func AblationAdaptive(dur Durations, progress Progress) ([]Table, error) {
 				Dur:        dur,
 				Adaptive:   a,
 			}
-			c, err := SweepRates(spec, DefaultRates(), pat.Name()+"/"+name)
+			c, err := SweepRatesWith(spec, DefaultRates(), pat.Name()+"/"+name, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -116,7 +120,7 @@ func AblationAdaptive(dur Durations, progress Progress) ([]Table, error) {
 }
 
 // AblationBufferDepth sweeps the per-VC buffer depth.
-func AblationBufferDepth(dur Durations, progress Progress) ([]Table, error) {
+func AblationBufferDepth(dur Durations, opts PoolOptions) ([]Table, error) {
 	t := Table{
 		ID:     "ablation_depth",
 		Title:  "Per-VC buffer depth under UPP",
@@ -124,7 +128,7 @@ func AblationBufferDepth(dur Durations, progress Progress) ([]Table, error) {
 		Notes:  []string{"deeper buffers raise saturation throughput with diminishing returns"},
 	}
 	for _, depth := range []int{2, 4, 8} {
-		progress.log("ablation_depth: %d flits", depth)
+		opts.Progress.log("ablation_depth: %d flits", depth)
 		spec := RunSpec{
 			Topo:        topology.BaselineConfig(),
 			Scheme:      SchemeUPP,
@@ -134,7 +138,7 @@ func AblationBufferDepth(dur Durations, progress Progress) ([]Table, error) {
 			Seed:        67,
 			Dur:         dur,
 		}
-		c, err := SweepRates(spec, DefaultRates(), fmt.Sprintf("depth=%d", depth))
+		c, err := SweepRatesWith(spec, DefaultRates(), fmt.Sprintf("depth=%d", depth), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +149,7 @@ func AblationBufferDepth(dur Durations, progress Progress) ([]Table, error) {
 
 // AblationSignalGap sweeps the serialization gap between protocol signals
 // from one interposer router (Sec. V-B5 prescribes data-packet-size + 1).
-func AblationSignalGap(dur Durations, progress Progress) ([]Table, error) {
+func AblationSignalGap(dur Durations, opts PoolOptions) ([]Table, error) {
 	t := Table{
 		ID:     "ablation_gap",
 		Title:  "UPP protocol-signal serialization gap",
@@ -153,7 +157,7 @@ func AblationSignalGap(dur Durations, progress Progress) ([]Table, error) {
 		Notes:  []string{"recovery traffic is tiny, so the gap barely moves throughput — matching the paper's bandwidth-waste analysis"},
 	}
 	for _, gap := range []int{1, 6, 12} {
-		progress.log("ablation_gap: %d", gap)
+		opts.Progress.log("ablation_gap: %d", gap)
 		cfg := core.DefaultConfig()
 		cfg.SignalGap = gap
 		spec := RunSpec{
@@ -167,7 +171,7 @@ func AblationSignalGap(dur Durations, progress Progress) ([]Table, error) {
 			Seed:       71,
 			Dur:        dur,
 		}
-		c, err := SweepRates(spec, DefaultRates(), fmt.Sprintf("gap=%d", gap))
+		c, err := SweepRatesWith(spec, DefaultRates(), fmt.Sprintf("gap=%d", gap), opts)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"uppnoc/internal/coherence"
+	"uppnoc/internal/core"
 	"uppnoc/internal/topology"
 	"uppnoc/internal/traffic"
 )
@@ -61,17 +62,65 @@ func TestStaticTables(t *testing.T) {
 
 func TestMakeScheme(t *testing.T) {
 	topo := topology.MustBuild(topology.BaselineConfig())
-	for _, name := range []SchemeName{SchemeComposable, SchemeRemoteControl, SchemeUPP, SchemeNone} {
-		s, err := MakeScheme(name, topo)
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		if s == nil {
-			t.Fatalf("%s: nil scheme", name)
-		}
+	cases := []struct {
+		name     SchemeName
+		wantName string // Name() of the instantiated scheme; "" means error
+	}{
+		{SchemeComposable, "composable"},
+		{SchemeRemoteControl, "remote_control"},
+		{SchemeUPP, "upp"},
+		{SchemeNone, "none"},
+		{"bogus", ""},
+		{"", ""},
+		{"UPP", ""}, // scheme names are case-sensitive
+		{"upp ", ""},
 	}
-	if _, err := MakeScheme("bogus", topo); err == nil {
-		t.Fatal("bogus scheme accepted")
+	for _, tc := range cases {
+		t.Run(string(tc.name), func(t *testing.T) {
+			s, err := MakeScheme(tc.name, topo)
+			if tc.wantName == "" {
+				if err == nil {
+					t.Fatalf("MakeScheme(%q) accepted", tc.name)
+				}
+				if !strings.Contains(err.Error(), string(tc.name)) {
+					t.Fatalf("error %q does not quote the bad name", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if got := s.Name(); got != tc.wantName {
+				t.Fatalf("MakeScheme(%q).Name() = %q, want %q", tc.name, got, tc.wantName)
+			}
+		})
+	}
+}
+
+func TestUPPWithThresholdPropagation(t *testing.T) {
+	defaultGap := core.DefaultConfig().SignalGap
+	cases := []struct {
+		in, want int
+	}{
+		{20, 20},
+		{100, 100},
+		{1000, 1000},
+		{0, 20}, // non-positive thresholds fall back to the Table II value
+		{-5, 20},
+	}
+	for _, tc := range cases {
+		s := UPPWithThreshold(tc.in)
+		u, ok := s.(*core.UPP)
+		if !ok {
+			t.Fatalf("UPPWithThreshold returned %T, want *core.UPP", s)
+		}
+		cfg := u.Config()
+		if cfg.Threshold != tc.want {
+			t.Fatalf("UPPWithThreshold(%d): threshold %d, want %d", tc.in, cfg.Threshold, tc.want)
+		}
+		if cfg.SignalGap != defaultGap {
+			t.Fatalf("UPPWithThreshold(%d) disturbed SignalGap: %d, want %d", tc.in, cfg.SignalGap, defaultGap)
+		}
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 // Fig10 reproduces the boundary-router sensitivity study: 2/4/8 boundary
 // routers per chiplet, normalized latency and saturation throughput
 // (normalized to composable routing with 1 VC and 4 boundary routers).
-func Fig10(dur Durations, progress Progress) ([]Table, error) {
+func Fig10(dur Durations, opts PoolOptions) ([]Table, error) {
 	t := Table{
 		ID:     "fig10",
 		Title:  "Sensitivity to boundary routers per chiplet",
@@ -32,7 +32,7 @@ func Fig10(dur Durations, progress Progress) ([]Table, error) {
 		cfg.BoundaryPerChiplet = b
 		for _, vcs := range []int{1, 4} {
 			for _, sch := range ComparedSchemes() {
-				progress.log("fig10: boundaries=%d vcs=%d %s", b, vcs, sch)
+				opts.Progress.log("fig10: boundaries=%d vcs=%d %s", b, vcs, sch)
 				spec := RunSpec{
 					Topo:           cfg,
 					SchemeOverride: cachedScheme(cfg, sch),
@@ -41,7 +41,7 @@ func Fig10(dur Durations, progress Progress) ([]Table, error) {
 					Seed:           23,
 					Dur:            dur,
 				}
-				c, err := SweepRates(spec, DefaultRates(), keyOf(b, vcs, sch))
+				c, err := SweepRatesWith(spec, DefaultRates(), keyOf(b, vcs, sch), opts)
 				if err != nil {
 					return nil, err
 				}
@@ -67,7 +67,7 @@ func Fig10(dur Durations, progress Progress) ([]Table, error) {
 // faulty links (up*/down* local routing), latency curves per VC count.
 // The paper omits the baselines here: composable's design-time search
 // cannot rerun online and remote control's permission tree is hard-wired.
-func Fig11(dur Durations, progress Progress) ([]Table, error) {
+func Fig11(dur Durations, opts PoolOptions) ([]Table, error) {
 	curves := Table{
 		ID:     "fig11",
 		Title:  "UPP on faulty systems (latency vs injection rate)",
@@ -83,7 +83,7 @@ func Fig11(dur Durations, progress Progress) ([]Table, error) {
 	}
 	for _, vcs := range []int{1, 4} {
 		for _, faults := range []int{0, 1, 5, 10, 15, 20} {
-			progress.log("fig11: faults=%d vcs=%d", faults, vcs)
+			opts.Progress.log("fig11: faults=%d vcs=%d", faults, vcs)
 			spec := RunSpec{
 				Topo:       topology.BaselineConfig(),
 				Scheme:     SchemeUPP,
@@ -95,7 +95,7 @@ func Fig11(dur Durations, progress Progress) ([]Table, error) {
 				FaultSeed:  1234,
 				UseUpDown:  true,
 			}
-			c, err := SweepRates(spec, DefaultRates(), fmt.Sprintf("faults=%d", faults))
+			c, err := SweepRatesWith(spec, DefaultRates(), fmt.Sprintf("faults=%d", faults), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -115,7 +115,7 @@ func Fig11(dur Durations, progress Progress) ([]Table, error) {
 // Fig13 reproduces the detection-threshold sensitivity study: thresholds
 // of 20/100/1000 cycles barely move the saturation throughput, and the
 // fraction of packets selected as upward packets stays tiny.
-func Fig13(dur Durations, progress Progress) ([]Table, error) {
+func Fig13(dur Durations, opts PoolOptions) ([]Table, error) {
 	curves := Table{
 		ID:     "fig13",
 		Title:  "UPP detection-threshold sensitivity",
@@ -132,7 +132,7 @@ func Fig13(dur Durations, progress Progress) ([]Table, error) {
 	}
 	for _, vcs := range []int{1, 4} {
 		for _, th := range []int{20, 100, 1000} {
-			progress.log("fig13: threshold=%d vcs=%d", th, vcs)
+			opts.Progress.log("fig13: threshold=%d vcs=%d", th, vcs)
 			spec := RunSpec{
 				Topo: topology.BaselineConfig(),
 				SchemeOverride: func(t *topology.Topology) (network.Scheme, error) {
@@ -143,7 +143,7 @@ func Fig13(dur Durations, progress Progress) ([]Table, error) {
 				Seed:       47,
 				Dur:        dur,
 			}
-			c, err := SweepRates(spec, DefaultRates(), fmt.Sprintf("th=%d", th))
+			c, err := SweepRatesWith(spec, DefaultRates(), fmt.Sprintf("th=%d", th), opts)
 			if err != nil {
 				return nil, err
 			}

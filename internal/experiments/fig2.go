@@ -13,14 +13,14 @@ import (
 // illustration — the search is a heuristic — but the character matches:
 // a handful of vertical-link turns forbidden per chiplet, which is what
 // costs composable routing its path diversity.)
-func Fig2(progress Progress) ([]Table, error) {
+func Fig2(opts PoolOptions) ([]Table, error) {
 	t := Table{
 		ID:     "fig2",
 		Title:  "Composable routing: boundary-router turn restrictions found by the design-time search",
 		Header: []string{"chiplet", "boundary_router", "restricted_turn"},
 	}
 	topo := topology.MustBuild(topology.BaselineConfig())
-	progress.log("fig2: running the restriction search")
+	opts.Progress.log("fig2: running the restriction search")
 	tb, err := composable.BuildTables(topo)
 	if err != nil {
 		return nil, err

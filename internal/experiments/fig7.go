@@ -39,31 +39,22 @@ func cachedScheme(cfg topology.SystemConfig, name SchemeName) func(*topology.Top
 	}
 }
 
-// Progress receives live status lines from long runners (may be nil).
-type Progress func(format string, args ...interface{})
-
-func (p Progress) log(format string, args ...interface{}) {
-	if p != nil {
-		p(format, args...)
-	}
-}
-
 // Fig7 reproduces the baseline-system latency/throughput comparison:
 // four synthetic patterns x {composable, remote control, UPP} x {1,4} VCs.
 // It returns the full curves plus a summary of saturation-throughput
 // improvement and latency reduction, the paper's headline numbers
 // (+18~72% throughput, -4.5~8.2% latency).
-func Fig7(dur Durations, progress Progress) ([]Table, error) {
-	return latencyFigure("fig7", topology.BaselineConfig(), traffic.Patterns(), dur, progress)
+func Fig7(dur Durations, opts PoolOptions) ([]Table, error) {
+	return latencyFigure("fig7", topology.BaselineConfig(), traffic.Patterns(), dur, opts)
 }
 
 // Fig9 reproduces the 128-core system comparison (4x8 interposer, eight
 // chiplets) under uniform random traffic.
-func Fig9(dur Durations, progress Progress) ([]Table, error) {
-	return latencyFigure("fig9", topology.LargeConfig(), []traffic.Pattern{traffic.UniformRandom{}}, dur, progress)
+func Fig9(dur Durations, opts PoolOptions) ([]Table, error) {
+	return latencyFigure("fig9", topology.LargeConfig(), []traffic.Pattern{traffic.UniformRandom{}}, dur, opts)
 }
 
-func latencyFigure(id string, sysCfg topology.SystemConfig, patterns []traffic.Pattern, dur Durations, progress Progress) ([]Table, error) {
+func latencyFigure(id string, sysCfg topology.SystemConfig, patterns []traffic.Pattern, dur Durations, opts PoolOptions) ([]Table, error) {
 	curves := Table{
 		ID:     id,
 		Title:  "Latency vs injection rate",
@@ -96,8 +87,8 @@ func latencyFigure(id string, sysCfg topology.SystemConfig, patterns []traffic.P
 					Dur:            dur,
 				}
 				label := fmt.Sprintf("%s-%dVC-%s", sch, vcs, pat.Name())
-				progress.log("%s: sweeping %s", id, label)
-				c, err := SweepRates(spec, DefaultRates(), label)
+				opts.Progress.log("%s: sweeping %s", id, label)
+				c, err := SweepRatesWith(spec, DefaultRates(), label, opts)
 				if err != nil {
 					return nil, err
 				}

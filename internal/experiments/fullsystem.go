@@ -71,13 +71,13 @@ func RunFullSystem(bench coherence.Workload, sch SchemeName, vcs int, seed uint6
 //
 // scale shrinks each benchmark's access quota (1.0 = the calibrated full
 // profile); the normalized comparisons are stable across scales.
-func FullSystem(scale float64, progress Progress) ([]Table, error) {
-	return fullSystemOver(coherence.Benchmarks(), scale, progress)
+func FullSystem(scale float64, opts PoolOptions) ([]Table, error) {
+	return fullSystemOver(coherence.Benchmarks(), scale, opts)
 }
 
 // FullSystemSubset runs the full-system figures over a named subset of
 // benchmarks (tests and quick looks).
-func FullSystemSubset(names []string, scale float64, progress Progress) ([]Table, error) {
+func FullSystemSubset(names []string, scale float64, opts PoolOptions) ([]Table, error) {
 	var benches []coherence.Workload
 	for _, name := range names {
 		w, err := coherence.BenchmarkByName(name)
@@ -86,10 +86,10 @@ func FullSystemSubset(names []string, scale float64, progress Progress) ([]Table
 		}
 		benches = append(benches, w)
 	}
-	return fullSystemOver(benches, scale, progress)
+	return fullSystemOver(benches, scale, opts)
 }
 
-func fullSystemOver(benchmarks []coherence.Workload, scale float64, progress Progress) ([]Table, error) {
+func fullSystemOver(benchmarks []coherence.Workload, scale float64, opts PoolOptions) ([]Table, error) {
 	fig8 := Table{
 		ID:     "fig8",
 		Title:  "Normalized full-system runtime (PARSEC + SPLASH-2 profiles)",
@@ -123,17 +123,45 @@ func fullSystemOver(benchmarks []coherence.Workload, scale float64, progress Pro
 		geoEnergy[i].logSum = map[SchemeName]float64{}
 	}
 
+	// Every (benchmark, vcs, scheme) run is self-contained, so the grid
+	// fans across the pool; the tables are then assembled serially in the
+	// original order.
+	type job struct {
+		bench coherence.Workload
+		vcs   int
+		sch   SchemeName
+	}
+	var grid []job
+	for _, bench := range benchmarks {
+		b := bench.Scale(scale)
+		for _, vcs := range []int{1, 4} {
+			for _, sch := range ComparedSchemes() {
+				grid = append(grid, job{b, vcs, sch})
+			}
+		}
+	}
+	results := make([]FullSystemResult, len(grid))
+	errs := make([]error, len(grid))
+	forEachIndex(len(grid), opts.jobs(), func(i int) {
+		j := grid[i]
+		opts.Progress.log("fullsystem: %s vcs=%d %s", j.bench.Name, j.vcs, j.sch)
+		results[i], errs[i] = RunFullSystem(j.bench, j.sch, j.vcs, 71)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// grid and the assembly loops below enumerate (benchmark, vcs, scheme)
+	// in the same order, so results are consumed by a running index.
+	gi := 0
 	for _, bench := range benchmarks {
 		b := bench.Scale(scale)
 		for vi, vcs := range []int{1, 4} {
 			res := map[SchemeName]FullSystemResult{}
 			for _, sch := range ComparedSchemes() {
-				progress.log("fullsystem: %s vcs=%d %s", b.Name, vcs, sch)
-				r, err := RunFullSystem(b, sch, vcs, 71)
-				if err != nil {
-					return nil, err
-				}
-				res[sch] = r
+				res[sch] = results[gi]
+				gi++
 			}
 			comp := float64(res[SchemeComposable].Runtime)
 			normRC := float64(res[SchemeRemoteControl].Runtime) / comp

@@ -15,7 +15,7 @@ import (
 // static binding spreads the load. Imbalance is max/mean flits per
 // down-link within each chiplet, averaged over chiplets; 1.0 is perfect
 // balance.
-func LoadBalance(dur Durations, progress Progress) ([]Table, error) {
+func LoadBalance(dur Durations, opts PoolOptions) ([]Table, error) {
 	t := Table{
 		ID:     "load_balance",
 		Title:  "Vertical-link load balance per scheme (uniform random, sub-saturation)",
@@ -29,60 +29,84 @@ func LoadBalance(dur Durations, progress Progress) ([]Table, error) {
 		Title:  "Per-boundary-router down-link flits",
 		Header: []string{"scheme", "chiplet", "boundary_router", "down_flits"},
 	}
-	for _, vcs := range []int{1} {
-		for _, sch := range ComparedSchemes() {
-			progress.log("load_balance: %s", sch)
-			topo, err := topology.Build(topology.BaselineConfig())
-			if err != nil {
-				return nil, err
-			}
-			scheme, err := cachedScheme(topology.BaselineConfig(), sch)(topo)
-			if err != nil {
-				return nil, err
-			}
-			cfg := network.DefaultConfig()
-			cfg.Router.VCsPerVNet = vcs
-			cfg.Seed = 5
-			n, err := network.New(topo, cfg, scheme)
-			if err != nil {
-				return nil, err
-			}
-			g := traffic.NewGenerator(n, traffic.UniformRandom{}, 0.04, 5)
-			g.Run(dur.Warmup + dur.Measure)
-
-			var total uint64
-			var imbalanceSum float64
-			var worstShare float64
-			for _, ch := range topo.Chiplets {
-				var counts []uint64
-				var chTotal, chMax uint64
-				for _, b := range ch.Boundary {
-					r := n.Router(b)
-					down := topo.Node(b).PortTo(topology.Down)
-					c := r.PortSent[down]
-					counts = append(counts, c)
-					chTotal += c
-					if c > chMax {
-						chMax = c
-					}
-					detail.AddRowf(string(sch), ch.Index, b, c)
-				}
-				total += chTotal
-				if chTotal > 0 {
-					mean := float64(chTotal) / float64(len(counts))
-					imbalanceSum += float64(chMax) / mean
-					if share := float64(chMax) / float64(chTotal); share > worstShare {
-						worstShare = share
-					}
-				}
-			}
-			imbalance := imbalanceSum / float64(len(topo.Chiplets))
-			if math.IsNaN(imbalance) {
-				imbalance = 0
-			}
-			t.AddRowf(string(sch), vcs, total,
-				fmt.Sprintf("%.2f", imbalance), fmt.Sprintf("%.0f%%", 100*worstShare))
+	// One self-contained simulation per scheme; the measurements drive the
+	// network directly (per-router counters, not a Point), so they fan out
+	// over the pool's index helper and the rows are assembled in scheme
+	// order afterwards.
+	type result struct {
+		summary []interface{}
+		detail  [][]interface{}
+		err     error
+	}
+	const vcs = 1
+	schemes := ComparedSchemes()
+	results := make([]result, len(schemes))
+	forEachIndex(len(schemes), opts.jobs(), func(si int) {
+		sch := schemes[si]
+		opts.Progress.log("load_balance: %s", sch)
+		r := &results[si]
+		topo, err := topology.Build(topology.BaselineConfig())
+		if err != nil {
+			r.err = err
+			return
 		}
+		scheme, err := cachedScheme(topology.BaselineConfig(), sch)(topo)
+		if err != nil {
+			r.err = err
+			return
+		}
+		cfg := network.DefaultConfig()
+		cfg.Router.VCsPerVNet = vcs
+		cfg.Seed = 5
+		n, err := network.New(topo, cfg, scheme)
+		if err != nil {
+			r.err = err
+			return
+		}
+		g := traffic.NewGenerator(n, traffic.UniformRandom{}, 0.04, 5)
+		g.Run(dur.Warmup + dur.Measure)
+
+		var total uint64
+		var imbalanceSum float64
+		var worstShare float64
+		for _, ch := range topo.Chiplets {
+			var counts []uint64
+			var chTotal, chMax uint64
+			for _, b := range ch.Boundary {
+				router := n.Router(b)
+				down := topo.Node(b).PortTo(topology.Down)
+				c := router.PortSent[down]
+				counts = append(counts, c)
+				chTotal += c
+				if c > chMax {
+					chMax = c
+				}
+				r.detail = append(r.detail, []interface{}{string(sch), ch.Index, b, c})
+			}
+			total += chTotal
+			if chTotal > 0 {
+				mean := float64(chTotal) / float64(len(counts))
+				imbalanceSum += float64(chMax) / mean
+				if share := float64(chMax) / float64(chTotal); share > worstShare {
+					worstShare = share
+				}
+			}
+		}
+		imbalance := imbalanceSum / float64(len(topo.Chiplets))
+		if math.IsNaN(imbalance) {
+			imbalance = 0
+		}
+		r.summary = []interface{}{string(sch), vcs, total,
+			fmt.Sprintf("%.2f", imbalance), fmt.Sprintf("%.0f%%", 100*worstShare)}
+	})
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for _, row := range r.detail {
+			detail.AddRowf(row...)
+		}
+		t.AddRowf(r.summary...)
 	}
 	return []Table{t, detail}, nil
 }

@@ -10,6 +10,10 @@ import (
 // check wiring, not physics.
 var microDur = Durations{Warmup: 300, Measure: 1200}
 
+// poolOpts runs the smoke tests through the worker pool with a couple of
+// workers, so the runner refactors are exercised in their parallel shape.
+var poolOpts = PoolOptions{Jobs: 2}
+
 func requireTables(t *testing.T, ts []Table, err error, want ...string) {
 	t.Helper()
 	if err != nil {
@@ -49,7 +53,7 @@ func TestFig7RunnerSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second smoke")
 	}
-	ts, err := Fig7(microDur, nil)
+	ts, err := Fig7(microDur, poolOpts)
 	requireTables(t, ts, err, "fig7", "fig7_summary", "fig7_charts")
 }
 
@@ -57,7 +61,7 @@ func TestFig9RunnerSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second smoke")
 	}
-	ts, err := Fig9(microDur, nil)
+	ts, err := Fig9(microDur, poolOpts)
 	requireTables(t, ts, err, "fig9", "fig9_summary")
 }
 
@@ -65,7 +69,7 @@ func TestFig10RunnerSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second smoke")
 	}
-	ts, err := Fig10(microDur, nil)
+	ts, err := Fig10(microDur, poolOpts)
 	requireTables(t, ts, err, "fig10")
 }
 
@@ -73,7 +77,7 @@ func TestFig11RunnerSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second smoke")
 	}
-	ts, err := Fig11(microDur, nil)
+	ts, err := Fig11(microDur, poolOpts)
 	requireTables(t, ts, err, "fig11", "fig11_summary")
 }
 
@@ -81,12 +85,12 @@ func TestFig13RunnerSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second smoke")
 	}
-	ts, err := Fig13(microDur, nil)
+	ts, err := Fig13(microDur, poolOpts)
 	requireTables(t, ts, err, "fig13", "fig13_summary")
 }
 
 func TestFig2RunnerSmoke(t *testing.T) {
-	ts, err := Fig2(nil)
+	ts, err := Fig2(PoolOptions{})
 	requireTables(t, ts, err, "fig2")
 }
 
@@ -94,7 +98,7 @@ func TestLoadBalanceRunnerSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second smoke")
 	}
-	ts, err := LoadBalance(microDur, nil)
+	ts, err := LoadBalance(microDur, poolOpts)
 	requireTables(t, ts, err, "load_balance", "load_balance_detail")
 }
 
@@ -102,7 +106,7 @@ func TestTailLatencyRunnerSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second smoke")
 	}
-	ts, err := TailLatency(microDur, nil)
+	ts, err := TailLatency(microDur, poolOpts)
 	requireTables(t, ts, err, "tail_latency")
 }
 
@@ -110,9 +114,9 @@ func TestAblationRunnersSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second smoke")
 	}
-	ts, err := AblationBufferDepth(microDur, nil)
+	ts, err := AblationBufferDepth(microDur, poolOpts)
 	requireTables(t, ts, err, "ablation_depth")
-	ts, err = AblationSignalGap(microDur, nil)
+	ts, err = AblationSignalGap(microDur, poolOpts)
 	requireTables(t, ts, err, "ablation_gap")
 }
 
@@ -120,6 +124,6 @@ func TestFullSystemRunnerSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second smoke")
 	}
-	ts, err := FullSystemSubset([]string{"blackscholes"}, 0.02, nil)
+	ts, err := FullSystemSubset([]string{"blackscholes"}, 0.02, poolOpts)
 	requireTables(t, ts, err, "fig8", "fig12", "fig15")
 }

@@ -141,27 +141,64 @@ type Curve struct {
 	ZeroLoadLatency float64
 }
 
-// SweepRates runs spec across the given offered rates and summarizes the
-// curve. The sweep stops two points after saturation (the paper's plots
-// end shortly past the knee).
+// SweepRates runs spec across the given offered rates serially and
+// summarizes the curve. The sweep stops two points after saturation (the
+// paper's plots end shortly past the knee).
 func SweepRates(spec RunSpec, rates []float64, label string) (Curve, error) {
+	return SweepRatesWith(spec, rates, label, PoolOptions{Jobs: 1})
+}
+
+// SweepRatesWith is SweepRates on the worker pool: the rates run through
+// RunAll in waves of opts.Jobs, and the serial stopping rule is applied to
+// the wave's points in rate order. Because every point is an independent
+// deterministic run and the truncation walks points in the same order the
+// serial sweep visits them, the resulting Curve is bit-identical at any
+// worker count (points a jobs>1 wave computes beyond the serial stopping
+// index are discarded, trading some redundant work for wall-clock).
+func SweepRatesWith(spec RunSpec, rates []float64, label string, opts PoolOptions) (Curve, error) {
 	c := Curve{Label: label}
+	wave := opts.jobs()
+	if wave < 1 {
+		wave = 1
+	}
 	past := 0
-	for _, r := range rates {
-		spec.Rate = r
-		pt, err := Run(spec)
-		if err != nil {
-			return c, fmt.Errorf("sweep %s rate %.4f: %w", label, r, err)
+sweep:
+	for start := 0; start < len(rates); start += wave {
+		end := start + wave
+		if end > len(rates) {
+			end = len(rates)
 		}
-		c.Points = append(c.Points, pt)
-		if !pt.Saturated {
-			c.SaturationRate = pt.Rate
-			c.SaturationThroughput = pt.Throughput
-			past = 0
-		} else {
-			past++
-			if past >= 2 {
-				break
+		specs := make([]RunSpec, 0, end-start)
+		for _, r := range rates[start:end] {
+			s := spec
+			s.Rate = r
+			specs = append(specs, s)
+		}
+		pts, err := RunAll(specs, opts)
+		batch, _ := err.(*BatchError)
+		if err != nil && batch == nil {
+			return c, err
+		}
+		failed := map[int]error{}
+		if batch != nil {
+			for _, re := range batch.Failed {
+				failed[re.Index] = re.Err
+			}
+		}
+		for i, pt := range pts {
+			if ferr := failed[i]; ferr != nil {
+				return c, fmt.Errorf("sweep %s rate %.4f: %w", label, rates[start+i], ferr)
+			}
+			c.Points = append(c.Points, pt)
+			if !pt.Saturated {
+				c.SaturationRate = pt.Rate
+				c.SaturationThroughput = pt.Throughput
+				past = 0
+			} else {
+				past++
+				if past >= 2 {
+					break sweep
+				}
 			}
 		}
 	}

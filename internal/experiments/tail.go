@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"uppnoc/internal/topology"
 	"uppnoc/internal/traffic"
 )
@@ -9,7 +11,7 @@ import (
 // load — recovery frameworks shape the tail: a packet that would wait
 // indefinitely in a wedged network is instead rescued by a popup, at the
 // cost of the detection timeout plus the protocol round trip.
-func TailLatency(dur Durations, progress Progress) ([]Table, error) {
+func TailLatency(dur Durations, opts PoolOptions) ([]Table, error) {
 	t := Table{
 		ID:     "tail_latency",
 		Title:  "Latency percentiles per scheme (uniform random)",
@@ -18,11 +20,19 @@ func TailLatency(dur Durations, progress Progress) ([]Table, error) {
 			"UPP's mean and p50 lead; its max reflects rescued packets (timeout + popup round trip)",
 		},
 	}
+	type job struct {
+		sch  SchemeName
+		vcs  int
+		rate float64
+	}
+	var jobs []job
+	var specs []RunSpec
 	for _, vcs := range []int{1, 4} {
 		for _, rate := range []float64{0.03, 0.05} {
 			for _, sch := range ComparedSchemes() {
-				progress.log("tail_latency: %s vcs=%d rate=%.2f", sch, vcs, rate)
-				pt, err := Run(RunSpec{
+				opts.Progress.log("tail_latency: %s vcs=%d rate=%.2f", sch, vcs, rate)
+				jobs = append(jobs, job{sch, vcs, rate})
+				specs = append(specs, RunSpec{
 					Topo:           topology.BaselineConfig(),
 					SchemeOverride: cachedScheme(topology.BaselineConfig(), sch),
 					VCsPerVNet:     vcs,
@@ -31,12 +41,16 @@ func TailLatency(dur Durations, progress Progress) ([]Table, error) {
 					Seed:           17,
 					Dur:            dur,
 				})
-				if err != nil {
-					return nil, err
-				}
-				t.AddRowf(string(sch), vcs, rate, pt.LatP50, pt.LatP99, pt.LatMax, pt.TotalLat)
 			}
 		}
+	}
+	pts, err := RunAll(specs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("tail_latency: %w", err)
+	}
+	for i, pt := range pts {
+		j := jobs[i]
+		t.AddRowf(string(j.sch), j.vcs, j.rate, pt.LatP50, pt.LatP99, pt.LatMax, pt.TotalLat)
 	}
 	return []Table{t}, nil
 }
