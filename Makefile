@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench figures figures-full demo fmt vet clean
+.PHONY: all build test test-short race bench bench-json figures figures-full demo fmt vet clean
 
 all: build test
 
@@ -21,6 +21,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Measure the cycle kernel (active-set vs naive, three load levels) and
+# record the perf trajectory in BENCH_kernel.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_kernel.json
 
 # Regenerate the paper's evaluation (quick durations). Runs fan out across
 # GOMAXPROCS workers (override with UPP_JOBS or `-jobs`); the output is

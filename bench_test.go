@@ -351,3 +351,29 @@ func BenchmarkComposableSearch(b *testing.B) {
 		}
 	}
 }
+
+// benchKernel measures the cycle kernel itself: the warmed-up UPP system
+// advances b.N simulated cycles, so ns/op reads directly as ns per
+// simulated cycle. Active/naive pairs at the same rate quantify the
+// active-set kernel's win (large at low load, where most components are
+// idle; ~neutral at saturation, where everything is awake anyway).
+func benchKernel(b *testing.B, kernel string, rate float64) {
+	b.Helper()
+	kb, err := experiments.NewKernelBench(kernel, rate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	kb.Run(b.N)
+}
+
+func BenchmarkKernelActiveLowLoad(b *testing.B) { benchKernel(b, network.KernelActive, 0.02) }
+func BenchmarkKernelNaiveLowLoad(b *testing.B)  { benchKernel(b, network.KernelNaive, 0.02) }
+func BenchmarkKernelActiveMidLoad(b *testing.B) { benchKernel(b, network.KernelActive, 0.05) }
+func BenchmarkKernelNaiveMidLoad(b *testing.B)  { benchKernel(b, network.KernelNaive, 0.05) }
+func BenchmarkKernelActiveSaturation(b *testing.B) {
+	benchKernel(b, network.KernelActive, 0.20)
+}
+func BenchmarkKernelNaiveSaturation(b *testing.B) {
+	benchKernel(b, network.KernelNaive, 0.20)
+}

@@ -1,0 +1,117 @@
+// Command benchjson runs the cycle-kernel benchmarks (the same
+// measurement as the BenchmarkKernel* benchmarks in bench_test.go) and
+// writes the results as JSON, so the repository's perf trajectory is
+// recorded in a diffable artifact. Run via `make bench-json`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"uppnoc/internal/experiments"
+	"uppnoc/internal/network"
+)
+
+// load pairs a label with the offered rate the benchmark injects at.
+type load struct {
+	Label string
+	Rate  float64
+}
+
+var loads = []load{
+	{"low", 0.02},
+	{"mid", 0.05},
+	{"saturation", 0.20},
+}
+
+type measurement struct {
+	Load       string  `json:"load"`
+	Rate       float64 `json:"rate"`
+	Kernel     string  `json:"kernel"`
+	Cycles     int     `json:"cycles"`
+	NsPerCycle float64 `json:"ns_per_cycle"`
+}
+
+type report struct {
+	Date         string        `json:"date"`
+	GoVersion    string        `json:"go_version"`
+	GOOS         string        `json:"goos"`
+	GOARCH       string        `json:"goarch"`
+	NumCPU       int           `json:"num_cpu"`
+	Measurements []measurement `json:"measurements"`
+	// Speedup maps load label to naive/active ns-per-cycle ratio: >1 means
+	// the active-set kernel is faster.
+	Speedup map[string]float64 `json:"speedup_active_vs_naive"`
+}
+
+func measure(kernel string, rate float64) (measurement, error) {
+	var buildErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		kb, err := experiments.NewKernelBench(kernel, rate)
+		if err != nil {
+			buildErr = err
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		kb.Run(b.N)
+	})
+	if buildErr != nil {
+		return measurement{}, buildErr
+	}
+	return measurement{
+		Kernel:     kernel,
+		Rate:       rate,
+		Cycles:     r.N,
+		NsPerCycle: float64(r.T.Nanoseconds()) / float64(r.N),
+	}, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernel.json", "output JSON path")
+	flag.Parse()
+
+	rep := report{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Speedup:   map[string]float64{},
+	}
+	perLoad := map[string]map[string]float64{}
+	for _, l := range loads {
+		perLoad[l.Label] = map[string]float64{}
+		for _, kernel := range []string{network.KernelActive, network.KernelNaive} {
+			fmt.Fprintf(os.Stderr, "benchjson: %s load (rate %.2f), %s kernel...\n", l.Label, l.Rate, kernel)
+			m, err := measure(kernel, l.Rate)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			m.Load = l.Label
+			rep.Measurements = append(rep.Measurements, m)
+			perLoad[l.Label][kernel] = m.NsPerCycle
+		}
+		rep.Speedup[l.Label] = perLoad[l.Label][network.KernelNaive] / perLoad[l.Label][network.KernelActive]
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+	for _, l := range loads {
+		fmt.Fprintf(os.Stderr, "  %-10s active %8.0f ns/cycle, naive %8.0f ns/cycle (%.2fx)\n",
+			l.Label, perLoad[l.Label][network.KernelActive], perLoad[l.Label][network.KernelNaive], rep.Speedup[l.Label])
+	}
+}

@@ -96,13 +96,13 @@ func (u *UPP) forwardPopupFlit(p *popup, i int, r *router.Router, cycle sim.Cycl
 			return false
 		}
 	}
-	if r.OutputClaimed(out) {
+	if r.OutputClaimed(out, cycle) {
 		return false
 	}
-	if fromVC && !r.ClaimInput(h.inPort) {
+	if fromVC && !r.ClaimInput(h.inPort, cycle) {
 		return false
 	}
-	r.ClaimOutput(out)
+	r.ClaimOutput(out, cycle)
 
 	var f = u.nodes[h.node].popupLatch[p.vnet].flit
 	if fromVC {
@@ -146,13 +146,13 @@ func (u *UPP) drainOrigin(p *popup, cycle sim.Cycle) {
 	if nextLatch.valid || nextLatch.reserved {
 		return
 	}
-	if r.OutputClaimed(out) || !r.ClaimInput(p.port) {
+	if r.OutputClaimed(out, cycle) || !r.ClaimInput(p.port, cycle) {
 		return
 	}
-	r.ClaimOutput(out)
+	r.ClaimOutput(out, cycle)
 	f = r.PopFront(p.port, p.vcIdx, cycle)
 	r.SendDirect(out)
-	r.MarkUpSent(p.vnet)
+	r.MarkUpSent(p.vnet, cycle)
 	if f.IsTail() {
 		p.tailLeftOrigin = true
 	}

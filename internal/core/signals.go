@@ -35,10 +35,10 @@ func (u *UPP) trySendFromOrigin(p *popup, kind sigKind, cycle sim.Cycle) {
 	}
 	r := u.net.Router(p.origin)
 	out := p.path[0].outPort
-	if r.OutputClaimed(out) {
+	if r.OutputClaimed(out, cycle) {
 		return // delayed by an upward flit (Sec. V-C1)
 	}
-	r.ClaimOutput(out)
+	r.ClaimOutput(out, cycle)
 	r.SendDirect(out)
 	u.net.Stats.SignalsSent++
 	u.assertEncodable(p, kind)
@@ -115,10 +115,10 @@ func (u *UPP) moveReqStop(node topology.NodeID, cycle sim.Cycle) {
 	if next.reqStop.valid || next.reqStop.reserved {
 		return
 	}
-	if r.OutputClaimed(h.outPort) {
+	if r.OutputClaimed(h.outPort, cycle) {
 		return // delayed one cycle by an upward flit (Sec. V-C1)
 	}
-	r.ClaimOutput(h.outPort)
+	r.ClaimOutput(h.outPort, cycle)
 	r.SendDirect(h.outPort)
 	u.net.Stats.SignalsSent++
 	if l.kind == sigStop {
@@ -213,12 +213,12 @@ func (u *UPP) moveAck(node topology.NodeID, a ackEntry, cycle sim.Cycle) bool {
 	r := u.net.Router(node)
 	// The ack leaves through the port its req arrived on — the recorded
 	// reverse path (Sec. V-B2).
-	if r.OutputClaimed(h.inPort) {
+	if r.OutputClaimed(h.inPort, cycle) {
 		return false
 	}
 	if a.hopIdx == 1 {
 		// Next stop is the origin interposer router: process on arrival.
-		r.ClaimOutput(h.inPort)
+		r.ClaimOutput(h.inPort, cycle)
 		r.SendDirect(h.inPort)
 		u.net.Stats.SignalsSent++
 		id := a.popupID
@@ -231,7 +231,7 @@ func (u *UPP) moveAck(node topology.NodeID, a ackEntry, cycle sim.Cycle) bool {
 	if len(prev.acks)+prev.ackRes >= message.NumVNets {
 		return false
 	}
-	r.ClaimOutput(h.inPort)
+	r.ClaimOutput(h.inPort, cycle)
 	r.SendDirect(h.inPort)
 	u.net.Stats.SignalsSent++
 	prev.ackRes++

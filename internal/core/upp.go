@@ -235,6 +235,13 @@ func (u *UPP) linkLat() sim.Cycle { return sim.Cycle(u.net.Cfg.Router.LinkLatenc
 // crossbar priority, Sec. V-C1), then protocol signals, then pending
 // req/stop transmissions from interposer routers.
 func (u *UPP) StartOfCycle(cycle sim.Cycle) {
+	if len(u.popups) == 0 {
+		// No live popup means no signal, latch or ack can be in flight
+		// anywhere (they all belong to a popup that is only deleted after
+		// its path is swept clean), so the signal movers below would walk
+		// every node and find nothing.
+		return
+	}
 	for _, p := range u.sortedPopups() {
 		if p.stage == stageDrain {
 			u.drain(p, cycle)
@@ -278,9 +285,15 @@ func (u *UPP) detect(cycle sim.Cycle) {
 		if node.PortTo(topology.Up) == topology.InvalidPort {
 			continue // no vertical link: never hosts an upward packet
 		}
+		if !u.net.RouterActive(id) {
+			// Idle under the active-set kernel: no buffered flit, so no
+			// stalled upward packet; OnRouterIdle zeroed the counters when
+			// the router retired.
+			continue
+		}
 		r := u.net.Router(id)
 		ns := &u.nodes[id]
-		upMask := r.UpSentMask()
+		upMask := r.UpSentMask(cycle)
 		for v := 0; v < message.NumVNets; v++ {
 			vnet := message.VNet(v)
 			if ns.entry[v] != nil {
@@ -505,6 +518,21 @@ func (u *UPP) releaseOrigin(p *popup) {
 	chiplet := u.net.Topo.Node(p.pkt.Dst).Chiplet
 	if u.tokens[chiplet][p.vnet] == p.id {
 		u.tokens[chiplet][p.vnet] = 0
+	}
+}
+
+// OnRouterIdle implements network.Scheme: when the active-set kernel
+// retires a router, its timeout counters reset for VNets with no popup in
+// flight — exactly what the naive kernel's per-cycle detect would do (an
+// empty router has no stalled upward packet, so findStalledUpward misses
+// and the counter zeroes). Counters of VNets with an active popup are left
+// alone: detection pauses for those in both kernels.
+func (u *UPP) OnRouterIdle(node topology.NodeID, _ sim.Cycle) {
+	ns := &u.nodes[node]
+	for v := range ns.counters {
+		if ns.entry[v] == nil {
+			ns.counters[v] = 0
+		}
 	}
 }
 

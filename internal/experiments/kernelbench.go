@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"uppnoc/internal/core"
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+// KernelBench is a warmed-up baseline-system UPP simulation prepared for
+// cycle-kernel benchmarking: Run advances whole cycles, so a benchmark
+// that maps b.N to cycles reads ns/op directly as ns per simulated cycle.
+// cmd/benchjson and the BenchmarkKernel* benchmarks share it so the
+// recorded perf trajectory measures exactly what the benchmarks do.
+type KernelBench struct {
+	g *traffic.Generator
+}
+
+// NewKernelBench builds a baseline system under the given cycle kernel
+// and offered load, then runs a warmup so the measured window sees
+// steady-state occupancy rather than a cold, empty network (which would
+// flatter the active-set kernel).
+func NewKernelBench(kernel string, rate float64) (*KernelBench, error) {
+	topo, err := topology.Build(topology.BaselineConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg := network.DefaultConfig()
+	cfg.Kernel = kernel
+	n, err := network.New(topo, cfg, core.New(core.DefaultConfig()))
+	if err != nil {
+		return nil, err
+	}
+	kb := &KernelBench{g: traffic.NewGenerator(n, traffic.UniformRandom{}, rate, 99)}
+	kb.g.Run(2000)
+	return kb, nil
+}
+
+// Run advances the simulation the given number of cycles.
+func (kb *KernelBench) Run(cycles int) { kb.g.Run(cycles) }

@@ -1,0 +1,133 @@
+package network_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"uppnoc/internal/composable"
+	"uppnoc/internal/core"
+	"uppnoc/internal/network"
+	"uppnoc/internal/remotectl"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+// kernelRun drives one fixed workload under the given kernel and returns
+// the full flit-level trace plus the final statistics.
+func kernelRun(t *testing.T, kernel, scheme string, rate float64, cycles int, seed uint64) (string, network.Stats) {
+	t.Helper()
+	topo := topology.MustBuild(topology.BaselineConfig())
+	var (
+		sch network.Scheme
+		err error
+	)
+	switch scheme {
+	case "upp":
+		sch = core.New(core.DefaultConfig())
+	case "remote_control":
+		sch = remotectl.New(remotectl.DefaultConfig())
+	case "composable":
+		sch, err = composable.NewScheme(topo)
+	case "none":
+		sch = network.None{}
+	default:
+		t.Fatalf("unknown scheme %q", scheme)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := network.DefaultConfig()
+	cfg.Kernel = kernel
+	n, err := network.New(topo, cfg, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n.SetTracer(network.WriteTracer(&buf, 0))
+	g := traffic.NewGenerator(n, traffic.UniformRandom{}, rate, seed)
+	g.Run(cycles)
+	return buf.String(), n.Stats
+}
+
+// TestKernelTraceEquality: the active-set kernel must be a pure
+// optimization — the flit-level event trace and every statistic must be
+// bit-identical to the naive exhaustive walk, for every scheme. The UPP
+// run uses an overload rate so deadlocks form and the full popup protocol
+// (detection, signals, circuit drain) executes under both kernels.
+func TestKernelTraceEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	cases := []struct {
+		scheme string
+		rate   float64
+		cycles int
+	}{
+		{"none", 0.05, 6000},
+		{"composable", 0.05, 6000},
+		{"remote_control", 0.05, 6000},
+		{"upp", 0.12, 10000}, // past the knee: popups fire
+	}
+	for _, tc := range cases {
+		t.Run(tc.scheme, func(t *testing.T) {
+			activeTrace, activeStats := kernelRun(t, network.KernelActive, tc.scheme, tc.rate, tc.cycles, 42)
+			naiveTrace, naiveStats := kernelRun(t, network.KernelNaive, tc.scheme, tc.rate, tc.cycles, 42)
+			if activeStats != naiveStats {
+				t.Errorf("stats diverge:\nactive: %+v\nnaive:  %+v", activeStats, naiveStats)
+			}
+			if tc.scheme == "upp" && activeStats.UpwardPackets == 0 {
+				t.Error("UPP case never detected an upward packet; raise the rate so the popup path is exercised")
+			}
+			if activeTrace != naiveTrace {
+				i := 0
+				for i < len(activeTrace) && i < len(naiveTrace) && activeTrace[i] == naiveTrace[i] {
+					i++
+				}
+				lo := i - 200
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("flit traces diverge at byte %d:\nactive: ...%.300s\nnaive:  ...%.300s",
+					i, activeTrace[lo:], naiveTrace[lo:])
+			}
+		})
+	}
+}
+
+// TestDrainStallDetectionActiveKernel: a genuinely wedged network must
+// still trip Drain's stallLimit under the active-set kernel, where almost
+// every component has been idle-retired — deadlocked routers hold buffered
+// flits forever, so they stay in the active set and the no-ejection
+// watchdog fires exactly as it does under the naive walk.
+func TestDrainStallDetectionActiveKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	wedge := func(kernel string, seed uint64) error {
+		topo := topology.MustBuild(topology.BaselineConfig())
+		cfg := network.DefaultConfig()
+		cfg.Kernel = kernel
+		n := network.MustNew(topo, cfg, network.None{})
+		g := traffic.NewGenerator(n, traffic.UniformRandom{}, 0.12, seed)
+		g.Run(20000)
+		g.SetRate(0)
+		return n.Drain(30000, 3000)
+	}
+	for seed := uint64(40); seed < 48; seed++ {
+		err := wedge(network.KernelActive, seed)
+		if err == nil {
+			continue // no deadlock with this seed
+		}
+		if !strings.Contains(err.Error(), "no ejection") {
+			t.Fatalf("seed %d: unexpected drain failure: %v", seed, err)
+		}
+		// The naive kernel must report the identical wedge.
+		nerr := wedge(network.KernelNaive, seed)
+		if nerr == nil || nerr.Error() != err.Error() {
+			t.Fatalf("seed %d: kernels disagree on the wedge:\nactive: %v\nnaive:  %v", seed, err, nerr)
+		}
+		return
+	}
+	t.Fatal("no deadlock formed across seeds; raise the load")
+}

@@ -6,12 +6,24 @@ package network
 
 import (
 	"fmt"
+	"os"
 
 	"uppnoc/internal/message"
 	"uppnoc/internal/router"
 	"uppnoc/internal/routing"
 	"uppnoc/internal/sim"
 	"uppnoc/internal/topology"
+)
+
+// Kernel names for Config.Kernel and the UPP_KERNEL environment variable.
+const (
+	// KernelActive is the active-set scheduler: only routers and NIs with
+	// pending work are stepped each cycle. The default.
+	KernelActive = "active"
+	// KernelNaive is the exhaustive every-component-every-cycle walk, kept
+	// as a debug escape hatch (UPP_KERNEL=naive). Both kernels produce
+	// bit-identical simulations.
+	KernelNaive = "naive"
 )
 
 // Config parameterizes a network instance.
@@ -30,6 +42,10 @@ type Config struct {
 	// odd-even turn model; integration-induced deadlocks recovered by the
 	// scheme). Mutually exclusive with UseUpDown.
 	Adaptive bool
+	// Kernel selects the cycle kernel: KernelActive (the default when
+	// empty) or KernelNaive. When empty, the UPP_KERNEL environment
+	// variable is consulted before falling back to the active-set kernel.
+	Kernel string
 }
 
 // DefaultConfig mirrors Table II with 1 VC per VNet.
@@ -47,6 +63,18 @@ func (c Config) Validate() error {
 	}
 	if c.UseUpDown && c.Adaptive {
 		return fmt.Errorf("network: UseUpDown and Adaptive are mutually exclusive")
+	}
+	switch c.Kernel {
+	case "", KernelActive, KernelNaive:
+	default:
+		return fmt.Errorf("network: unknown kernel %q (want %q or %q)", c.Kernel, KernelActive, KernelNaive)
+	}
+	// The event wheel must cover the longest schedulable delay: a flit's
+	// pipeline traversal plus its link flight. Surfacing the bound here
+	// turns Schedule's runtime panic into a configuration error.
+	if c.Router.LinkLatency+router.PipelineDepth >= wheelSize {
+		return fmt.Errorf("network: LinkLatency %d + pipeline depth %d reaches the %d-cycle event wheel horizon",
+			c.Router.LinkLatency, router.PipelineDepth, wheelSize)
 	}
 	return nil
 }
@@ -89,6 +117,17 @@ type Network struct {
 	nextID uint64
 	tracer Tracer
 
+	// Active-set scheduling state (KernelActive): a component is awake
+	// from the wake event that gave it work until the retirement pass
+	// finds it idle. The per-cycle walk visits awake components in
+	// ascending NodeID order — the naive kernel's order — so the two
+	// kernels are bit-identical.
+	kernel       string
+	routerAwake  []bool
+	niAwake      []bool
+	awakeRouters int
+	awakeNIs     int
+
 	Stats   Stats
 	latHist LatencyHistogram
 
@@ -108,6 +147,20 @@ func New(t *topology.Topology, cfg Config, scheme Scheme) (*Network, error) {
 		scheme: scheme,
 		rng:    sim.NewRNG(cfg.Seed),
 	}
+	n.kernel = cfg.Kernel
+	if n.kernel == "" {
+		n.kernel = os.Getenv("UPP_KERNEL")
+	}
+	switch n.kernel {
+	case "":
+		n.kernel = KernelActive
+	case KernelActive, KernelNaive:
+	default:
+		return nil, fmt.Errorf("network: unknown kernel %q (from UPP_KERNEL; want %q or %q)",
+			n.kernel, KernelActive, KernelNaive)
+	}
+	n.routerAwake = make([]bool, t.NumNodes())
+	n.niAwake = make([]bool, t.NumNodes())
 	var local routing.Local
 	switch {
 	case cfg.UseUpDown:
@@ -258,13 +311,40 @@ func (n *Network) NI(id topology.NodeID) *NI { return n.NIs[id] }
 // Router returns the router at node id.
 func (n *Network) Router(id topology.NodeID) *router.Router { return n.Routers[id] }
 
-// Step advances the system by one cycle.
-func (n *Network) Step() {
-	cycle := n.cycle
-	for _, r := range n.Routers {
-		r.ResetClaims()
+// Kernel returns the resolved cycle-kernel name (KernelActive or
+// KernelNaive).
+func (n *Network) Kernel() string { return n.kernel }
+
+// RouterActive reports whether the router at id is in the active set this
+// cycle (always true under the naive kernel). Schemes use it to skip
+// detection work at provably idle routers: a router outside the set holds
+// no buffered flits, and its scheme-side per-router state was reset by the
+// OnRouterIdle hook when it retired.
+func (n *Network) RouterActive(id topology.NodeID) bool {
+	return n.kernel == KernelNaive || n.routerAwake[id]
+}
+
+// wakeRouter puts a router into the active set.
+func (n *Network) wakeRouter(id topology.NodeID) {
+	if !n.routerAwake[id] {
+		n.routerAwake[id] = true
+		n.awakeRouters++
 	}
-	// Deliver due events.
+}
+
+// wakeNI puts an NI into the active set.
+func (n *Network) wakeNI(id topology.NodeID) {
+	if !n.niAwake[id] {
+		n.niAwake[id] = true
+		n.awakeNIs++
+	}
+}
+
+// deliverEvents drains the current wheel slot, waking the component each
+// event lands on. Waking on credits as well as flits is conservative — a
+// component with nothing buffered re-retires the same cycle — and keeps the
+// wake rule a property of delivery, not of component internals.
+func (n *Network) deliverEvents(cycle sim.Cycle, wake bool) {
 	slot := cycle % wheelSize
 	events := n.wheel[slot]
 	n.wheel[slot] = events[:0]
@@ -273,24 +353,104 @@ func (n *Network) Step() {
 		switch e.kind {
 		case evFlit:
 			delay := n.scheme.OnFlitArrived(e.to, e.port, e.flit, cycle)
-			r := n.Routers[e.to]
-			r.ReceiveFlit(e.port, e.vc, e.flit, cycle+delay)
+			if wake {
+				n.wakeRouter(e.to)
+			}
+			n.Routers[e.to].ReceiveFlit(e.port, e.vc, e.flit, cycle+delay)
 		case evCredit:
 			if e.port == topology.LocalPort {
+				if wake {
+					n.wakeNI(e.to)
+				}
 				n.NIs[e.to].receiveCredit(e.vc, int(e.delta), e.free)
 			} else {
+				if wake {
+					n.wakeRouter(e.to)
+				}
 				n.Routers[e.to].ReceiveCredit(e.port, e.vc, int(e.delta), e.free)
 			}
 		case evCall:
 			e.fn(cycle)
 		}
 	}
+}
+
+// Step advances the system by one cycle.
+func (n *Network) Step() {
+	if n.kernel == KernelNaive {
+		n.stepNaive()
+	} else {
+		n.stepActive()
+	}
+}
+
+// stepNaive is the exhaustive walk: every router and NI steps every cycle.
+// Idle components no-op (Step early-returns on an empty router), so the
+// walk is wasted work at low load — which is what the active-set kernel
+// removes — but its simplicity makes it the reference the golden tests
+// compare against.
+func (n *Network) stepNaive() {
+	cycle := n.cycle
+	n.deliverEvents(cycle, false)
 	n.scheme.StartOfCycle(cycle)
 	for _, r := range n.Routers {
 		r.Step(cycle)
 	}
 	for _, ni := range n.NIs {
 		ni.step(cycle)
+	}
+	n.scheme.EndOfCycle(cycle)
+	n.cycle++
+}
+
+// stepActive advances one cycle stepping only awake components. Event
+// delivery wakes the receiver; the walk visits awake components in
+// ascending NodeID order — identical to the naive kernel's order — and a
+// component woken mid-walk by an earlier one (an NI consuming a message
+// and enqueueing a reply at a higher ID) is picked up in the same pass,
+// exactly as the naive walk would. Components woken at an ID the pass
+// already visited keep their wake flag and step next cycle, again matching
+// naive semantics. After the walk, components with no remaining work
+// retire; a retiring router notifies the scheme through OnRouterIdle so
+// per-router timeout state resets once instead of being re-polled every
+// cycle.
+func (n *Network) stepActive() {
+	cycle := n.cycle
+	n.deliverEvents(cycle, true)
+	n.scheme.StartOfCycle(cycle)
+	if n.awakeRouters > 0 {
+		for id, awake := range n.routerAwake {
+			if awake {
+				n.Routers[id].Step(cycle)
+			}
+		}
+	}
+	if n.awakeNIs > 0 {
+		for id, awake := range n.niAwake {
+			if awake {
+				n.NIs[id].step(cycle)
+			}
+		}
+	}
+	// Retirement pass: afterwards the awake sets hold exactly the
+	// components with pending work, which EndOfCycle detection (UPP's
+	// RouterActive check) relies on.
+	if n.awakeRouters > 0 {
+		for id, awake := range n.routerAwake {
+			if awake && n.Routers[id].Idle() {
+				n.routerAwake[id] = false
+				n.awakeRouters--
+				n.scheme.OnRouterIdle(topology.NodeID(id), cycle)
+			}
+		}
+	}
+	if n.awakeNIs > 0 {
+		for id, awake := range n.niAwake {
+			if awake && n.NIs[id].Idle() {
+				n.niAwake[id] = false
+				n.awakeNIs--
+			}
+		}
 	}
 	n.scheme.EndOfCycle(cycle)
 	n.cycle++

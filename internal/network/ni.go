@@ -91,6 +91,7 @@ func (ni *NI) Enqueue(p *message.Packet, cycle sim.Cycle) {
 	ni.net.prepare(p)
 	ni.injQ[p.VNet] = append(ni.injQ[p.VNet], p)
 	ni.net.Stats.BornPackets++
+	ni.net.wakeNI(ni.Node)
 }
 
 // InjQueueLen returns the injection queue depth of a VNet (coherence PEs
@@ -109,6 +110,22 @@ func (ni *NI) receiveCredit(vc int8, delta int, free bool) {
 	if free {
 		ni.busy[vc] = false
 	}
+}
+
+// Idle reports that stepping this NI would be a no-op: nothing to
+// consume, no reservation waiters, no queued or streaming injections.
+// Reassembly-in-progress (ni.assembly) does not require stepping — flits
+// arrive through AcceptFlit, which wakes the NI when a packet completes.
+func (ni *NI) Idle() bool {
+	if len(ni.complete) > 0 || len(ni.waiters) > 0 {
+		return false
+	}
+	for v := 0; v < message.NumVNets; v++ {
+		if ni.active[v] || len(ni.injQ[v]) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // step advances the NI one cycle: consume completed messages, grant
@@ -254,6 +271,7 @@ func (ni *NI) AcceptFlit(f message.Flit, arrival sim.Cycle) {
 	ni.net.Trace("eject", ni.Node, "pkt%d %s %d->%d latency=%d popup=%v",
 		p.ID, p.VNet, p.Src, p.Dst, p.EjectCycle-p.InjectCycle, p.Popup)
 	ni.complete = append(ni.complete, completed{pkt: p, ready: arrival})
+	ni.net.wakeNI(ni.Node)
 	ni.net.recordEjected(p, arrival)
 	ni.net.scheme.OnPacketEjected(ni, p, arrival)
 }
@@ -269,6 +287,7 @@ func (ni *NI) RequestReservation(vnet message.VNet, popupID uint64, cycle sim.Cy
 		return
 	}
 	ni.waiters = append(ni.waiters, reservationWaiter{vnet: vnet, popupID: popupID, grant: grant})
+	ni.net.wakeNI(ni.Node)
 }
 
 // CancelReservation implements UPP_stop: recycle a reservation (or drop the

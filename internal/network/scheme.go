@@ -39,6 +39,13 @@ type Scheme interface {
 	OnFlitArrived(node topology.NodeID, port topology.PortID, f message.Flit, cycle sim.Cycle) sim.Cycle
 	// OnPacketEjected observes complete packet reassembly at an NI.
 	OnPacketEjected(ni *NI, p *message.Packet, cycle sim.Cycle)
+	// OnRouterIdle fires when the active-set kernel retires a router from
+	// its per-cycle walk (no buffered flits remain). Schemes that keep
+	// per-router state the naive kernel re-derives every cycle — UPP's
+	// timeout counters — reset it here once instead of polling; the router
+	// will not be observed again until a flit arrival wakes it. The naive
+	// kernel never calls this hook.
+	OnRouterIdle(node topology.NodeID, cycle sim.Cycle)
 }
 
 // BaseScheme is a no-op Scheme for embedding; concrete schemes override
@@ -67,6 +74,9 @@ func (BaseScheme) OnFlitArrived(topology.NodeID, topology.PortID, message.Flit, 
 
 // OnPacketEjected is a no-op.
 func (BaseScheme) OnPacketEjected(*NI, *message.Packet, sim.Cycle) {}
+
+// OnRouterIdle is a no-op.
+func (BaseScheme) OnRouterIdle(topology.NodeID, sim.Cycle) {}
 
 // None is the recovery-free fully-adaptive configuration: static-binding
 // routing with no deadlock handling at all. Integration-induced deadlocks

@@ -206,6 +206,14 @@ func (s *Scheme) StartOfCycle(cycle sim.Cycle) {
 	for _, ch := range s.net.Topo.Chiplets {
 		for _, bn := range ch.Boundary {
 			b := s.boundaries[bn]
+			if len(b.reqQ) == 0 && len(b.held) == 0 && len(b.absorbing) == 0 &&
+				s.net.Router(bn).Buffered() == 0 {
+				// Fully quiescent boundary: nothing to grant (reqQ empty),
+				// no holds to refresh, nothing absorbed to stream down
+				// (sendQ is non-empty only while absorbing is), and an
+				// empty router can hold no egress flit to hold or absorb.
+				continue
+			}
 			s.grantRequests(b, cycle)
 			s.refreshHolds(b, cycle)
 			s.absorb(b, cycle)
@@ -263,7 +271,7 @@ func (s *Scheme) absorb(b *boundary, cycle sim.Cycle) {
 			if !ok || !s.isEgressHere(b, f.Pkt) {
 				continue
 			}
-			if !r.ClaimInput(port) {
+			if !r.ClaimInput(port, cycle) {
 				break
 			}
 			f = r.PopFront(port, vi, cycle)
@@ -284,7 +292,7 @@ func (s *Scheme) absorb(b *boundary, cycle sim.Cycle) {
 func (s *Scheme) sendDown(b *boundary, cycle sim.Cycle) {
 	r := s.net.Router(b.node)
 	down := r.Node.PortTo(topology.Down)
-	if down == topology.InvalidPort || r.OutputClaimed(down) {
+	if down == topology.InvalidPort || r.OutputClaimed(down, cycle) {
 		return
 	}
 	for k := 0; k < message.NumVNets; k++ {
@@ -307,7 +315,7 @@ func (s *Scheme) sendDown(b *boundary, cycle sim.Cycle) {
 		}
 		f := sl.flits[sl.next]
 		sl.next++
-		r.ClaimOutput(down)
+		r.ClaimOutput(down, cycle)
 		r.SendOnOutput(down, sl.outVC, f, cycle)
 		b.vnetRR = v
 		if f.IsTail() {
@@ -319,6 +327,12 @@ func (s *Scheme) sendDown(b *boundary, cycle sim.Cycle) {
 		return
 	}
 }
+
+// OnRouterIdle implements network.Scheme. Remote control keeps no
+// per-cycle counters: boundary state (reqQ, slots, holds) is event-driven
+// and the StartOfCycle quiescence skip re-derives it from queue lengths,
+// so retirement needs no reset here.
+func (s *Scheme) OnRouterIdle(topology.NodeID, sim.Cycle) {}
 
 // SlotsFree reports the free slot count at boundary b (tests).
 func (s *Scheme) SlotsFree(b topology.NodeID) int { return s.boundaries[b].free }

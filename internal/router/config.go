@@ -17,6 +17,12 @@ import (
 	"uppnoc/internal/message"
 )
 
+// PipelineDepth is the router pipeline length in cycles — buffer write +
+// route computation, switch allocation + VC selection, switch traversal
+// (Fig. 5). The network's event wheel must cover PipelineDepth plus the
+// link latency; network.Config.Validate enforces it.
+const PipelineDepth = 3
+
 // Config fixes the microarchitectural parameters shared by every router.
 type Config struct {
 	// VCsPerVNet is the number of virtual channels per virtual network

@@ -35,7 +35,6 @@ func TestSwitchAllocationFairness(t *testing.T) {
 	for c := sim.Cycle(0); c < 3000; c++ {
 		refill(2, 1, c)
 		refill(3, 2, c)
-		r.ResetClaims()
 		r.Step(c)
 		// Return credits immediately so the output is never the limit.
 		for _, f := range sink.flits {
@@ -72,7 +71,6 @@ func TestVNetVCIsolation(t *testing.T) {
 	r := router.New(topo.Node(0), cfg, sink, &mockLocal{accept: true}, route, sim.NewRNG(1))
 	p := &message.Packet{ID: 9, Dst: 5, VNet: message.VNetForward, Size: 1}
 	r.ReceiveFlit(2, int8(cfg.VCIndex(message.VNetForward, 1)), message.Flit{Pkt: p}, 10)
-	r.ResetClaims()
 	r.Step(11)
 	if len(sink.flits) != 1 {
 		t.Fatal("flit stuck")
@@ -101,7 +99,6 @@ func TestVCTHeadGating(t *testing.T) {
 	}
 	r.Out[1].Credits[0] = 4 // space for 4 of 5 flits
 	for c := sim.Cycle(10); c < 16; c++ {
-		r.ResetClaims()
 		r.Step(c)
 	}
 	if len(sink.flits) != 0 {
@@ -109,7 +106,6 @@ func TestVCTHeadGating(t *testing.T) {
 	}
 	r.ReceiveCredit(1, 0, 1, false) // now 5
 	for c := sim.Cycle(16); c < 24; c++ {
-		r.ResetClaims()
 		r.Step(c)
 	}
 	if len(sink.flits) != 5 {

@@ -82,17 +82,23 @@ type Router struct {
 	route RouteFunc
 	rng   *sim.RNG
 
-	outClaimed []bool
-	inClaimed  []bool
-	inRR       []int // per input port: round-robin pointer over VCs
+	// Per-cycle crossbar claims are epoch-stamped (cycle+1 = "claimed
+	// through that cycle") rather than cleared by a start-of-cycle reset,
+	// so a router the active-set kernel skips for thousands of idle cycles
+	// needs no per-cycle bookkeeping to keep its claim state consistent.
+	outClaimedAt []sim.Cycle
+	inClaimedAt  []sim.Cycle
+	inRR         []int // per input port: round-robin pointer over VCs
 
 	// PortSent counts flits sent through each output port (link
 	// utilization and load-balance analysis).
 	PortSent []uint64
 
-	// upSent records, per cycle, which VNets sent a flit through an Up
-	// output port (UPP's timeout counters reset on it).
-	upSent uint8
+	// upSent records which VNets sent a flit through an Up output port
+	// during cycle upSentAt-1 (UPP's timeout counters reset on it); the
+	// epoch stamp expires it without a per-cycle reset.
+	upSent   uint8
+	upSentAt sim.Cycle
 
 	// buffered counts flits currently held in this router's VCs; idle
 	// routers are skipped by the simulation loop.
@@ -115,10 +121,10 @@ func New(n *topology.Node, cfg Config, sink EventSink, local LocalSink, route Ro
 		route: route,
 		rng:   rng,
 
-		outClaimed: make([]bool, len(n.Ports)),
-		inClaimed:  make([]bool, len(n.Ports)),
-		inRR:       make([]int, len(n.Ports)),
-		PortSent:   make([]uint64, len(n.Ports)),
+		outClaimedAt: make([]sim.Cycle, len(n.Ports)),
+		inClaimedAt:  make([]sim.Cycle, len(n.Ports)),
+		inRR:         make([]int, len(n.Ports)),
+		PortSent:     make([]uint64, len(n.Ports)),
 	}
 	nvc := cfg.NumVCs()
 	for pi := range r.In {
@@ -167,45 +173,54 @@ func (r *Router) ReceiveCredit(port topology.PortID, vc int8, delta int, free bo
 	}
 }
 
-// ResetClaims clears per-cycle crossbar claims. The network calls it at the
-// start of every cycle, before scheme plugins run.
-func (r *Router) ResetClaims() {
-	for i := range r.outClaimed {
-		r.outClaimed[i] = false
-		r.inClaimed[i] = false
+// Idle reports whether the router has no buffered flits — nothing for
+// Step to do. The active-set kernel retires idle routers from its
+// per-cycle walk until a flit arrival wakes them again.
+func (r *Router) Idle() bool { return r.buffered == 0 }
+
+// UpSentMask returns the bitmask of VNets that sent a flit through an Up
+// output during the given cycle; the mask expires with the cycle.
+func (r *Router) UpSentMask(cycle sim.Cycle) uint8 {
+	if r.upSentAt != cycle+1 {
+		return 0
 	}
-	r.upSent = 0
+	return r.upSent
 }
 
-// UpSentMask returns the per-cycle bitmask of VNets that sent a flit
-// through an Up output this cycle.
-func (r *Router) UpSentMask() uint8 { return r.upSent }
-
-// MarkUpSent records an out-of-band up-port transmission (popup flits).
-func (r *Router) MarkUpSent(v message.VNet) { r.upSent |= 1 << uint(v) }
+// MarkUpSent records an out-of-band up-port transmission (popup flits)
+// during the given cycle.
+func (r *Router) MarkUpSent(v message.VNet, cycle sim.Cycle) {
+	if r.upSentAt != cycle+1 {
+		r.upSent = 0
+		r.upSentAt = cycle + 1
+	}
+	r.upSent |= 1 << uint(v)
+}
 
 // ClaimOutput reserves output port p for an out-of-band transfer (popup
-// flit or protocol signal) this cycle. It reports whether the claim
-// succeeded.
-func (r *Router) ClaimOutput(p topology.PortID) bool {
-	if r.outClaimed[p] {
+// flit or protocol signal) during the given cycle. It reports whether the
+// claim succeeded; claims expire with the cycle.
+func (r *Router) ClaimOutput(p topology.PortID, cycle sim.Cycle) bool {
+	if r.outClaimedAt[p] > cycle {
 		return false
 	}
-	r.outClaimed[p] = true
+	r.outClaimedAt[p] = cycle + 1
 	return true
 }
 
-// ClaimInput reserves input port p's crossbar slot this cycle.
-func (r *Router) ClaimInput(p topology.PortID) bool {
-	if r.inClaimed[p] {
+// ClaimInput reserves input port p's crossbar slot for the given cycle.
+func (r *Router) ClaimInput(p topology.PortID, cycle sim.Cycle) bool {
+	if r.inClaimedAt[p] > cycle {
 		return false
 	}
-	r.inClaimed[p] = true
+	r.inClaimedAt[p] = cycle + 1
 	return true
 }
 
-// OutputClaimed reports whether output p is already claimed this cycle.
-func (r *Router) OutputClaimed(p topology.PortID) bool { return r.outClaimed[p] }
+// OutputClaimed reports whether output p is claimed during the given cycle.
+func (r *Router) OutputClaimed(p topology.PortID, cycle sim.Cycle) bool {
+	return r.outClaimedAt[p] > cycle
+}
 
 // Neighbor returns the (node, port) on the far side of output port p.
 func (r *Router) Neighbor(p topology.PortID) (topology.NodeID, topology.PortID) {
@@ -230,7 +245,7 @@ func (r *Router) Step(cycle sim.Cycle) {
 	var nominees [16]nominee // radix is small; avoid allocation
 	nn := 0
 	for pi := 0; pi < nports; pi++ {
-		if r.inClaimed[pi] || r.In[pi].buffered == 0 {
+		if r.inClaimedAt[pi] > cycle || r.In[pi].buffered == 0 {
 			continue
 		}
 		if vi := r.pickInputVC(topology.PortID(pi), cycle); vi >= 0 {
@@ -244,7 +259,7 @@ func (r *Router) Step(cycle sim.Cycle) {
 	}
 	// Output arbitration: for each output port, grant one nominee.
 	for oi := 0; oi < nports; oi++ {
-		if r.outClaimed[oi] {
+		if r.outClaimedAt[oi] > cycle {
 			continue
 		}
 		out := &r.Out[oi]
@@ -315,7 +330,7 @@ func (r *Router) pickInputVC(pi topology.PortID, cycle sim.Cycle) int {
 			vc.State = VCWaiting
 			vc.routed = true
 		}
-		if vc.OutPort == topology.InvalidPort || r.outClaimed[vc.OutPort] {
+		if vc.OutPort == topology.InvalidPort || r.outClaimedAt[vc.OutPort] > cycle {
 			continue
 		}
 		switch vc.State {
@@ -418,7 +433,7 @@ func (r *Router) sendFront(pi topology.PortID, vi int, cycle sim.Cycle) {
 	r.Stats.LinkTravs++
 	if r.Node.Ports[out].Dir == topology.Up {
 		r.Stats.UpFlits++
-		r.upSent |= 1 << uint(f.Pkt.VNet)
+		r.MarkUpSent(f.Pkt.VNet, cycle)
 	}
 	o := &r.Out[out]
 	o.Credits[outVC]--
@@ -513,7 +528,7 @@ func (r *Router) SendOnOutput(out topology.PortID, outVC int8, f message.Flit, c
 	r.PortSent[out]++
 	if r.Node.Ports[out].Dir == topology.Up {
 		r.Stats.UpFlits++
-		r.upSent |= 1 << uint(f.Pkt.VNet)
+		r.MarkUpSent(f.Pkt.VNet, cycle)
 	}
 	nb, nbPort := r.Neighbor(out)
 	r.sink.DeliverFlit(nb, nbPort, outVC, f, cycle+1+sim.Cycle(r.Cfg.LinkLatency))

@@ -70,12 +70,10 @@ func TestPipelineTiming(t *testing.T) {
 	r, sink, _ := testRouter(t, 1)
 	p := pkt(1)
 	r.ReceiveFlit(2, 0, message.Flit{Pkt: p}, 10) // BW at cycle 10
-	r.ResetClaims()
-	r.Step(10) // not yet eligible
+	r.Step(10)                                    // not yet eligible
 	if len(sink.flits) != 0 {
 		t.Fatal("flit moved in its buffer-write cycle")
 	}
-	r.ResetClaims()
 	r.Step(11) // SA+VCS, ST
 	if len(sink.flits) != 1 {
 		t.Fatalf("flit not sent at cycle 11: %v", sink.flits)
@@ -95,7 +93,6 @@ func TestCreditAndVCLifecycle(t *testing.T) {
 	r.ReceiveFlit(2, 0, message.Flit{Pkt: p, Seq: 0}, 10)
 	r.ReceiveFlit(2, 0, message.Flit{Pkt: p, Seq: 1}, 11)
 	for c := sim.Cycle(10); c < 16; c++ {
-		r.ResetClaims()
 		r.Step(c)
 	}
 	if len(sink.flits) != 2 {
@@ -137,7 +134,6 @@ func TestNoCreditNoSend(t *testing.T) {
 	p := pkt(1)
 	r.ReceiveFlit(2, 0, message.Flit{Pkt: p}, 10)
 	for c := sim.Cycle(10); c < 20; c++ {
-		r.ResetClaims()
 		r.Step(c)
 	}
 	if len(sink.flits) != 0 {
@@ -145,7 +141,6 @@ func TestNoCreditNoSend(t *testing.T) {
 	}
 	r.ReceiveCredit(1, 0, 1, false)
 	// Still Busy=false so a head can allocate... it was never busy.
-	r.ResetClaims()
 	r.Step(21)
 	if len(sink.flits) != 1 {
 		t.Fatal("flit stuck after credit arrived")
@@ -158,14 +153,12 @@ func TestBusyVCBlocksNewHead(t *testing.T) {
 	p := pkt(1)
 	r.ReceiveFlit(2, 0, message.Flit{Pkt: p}, 10)
 	for c := sim.Cycle(10); c < 15; c++ {
-		r.ResetClaims()
 		r.Step(c)
 	}
 	if len(sink.flits) != 0 {
 		t.Fatal("head advanced into a busy downstream VC")
 	}
 	r.ReceiveCredit(1, 0, 0, true)
-	r.ResetClaims()
 	r.Step(16)
 	if len(sink.flits) != 1 {
 		t.Fatal("head stuck after VC freed")
@@ -176,18 +169,16 @@ func TestClaimedOutputBlocksSA(t *testing.T) {
 	r, sink, _ := testRouter(t, 1)
 	p := pkt(1)
 	r.ReceiveFlit(2, 0, message.Flit{Pkt: p}, 10)
-	r.ResetClaims()
-	if !r.ClaimOutput(1) {
+	if !r.ClaimOutput(1, 11) {
 		t.Fatal("claim failed")
 	}
 	r.Step(11)
 	if len(sink.flits) != 0 {
 		t.Fatal("SA used a claimed output")
 	}
-	r.ResetClaims()
-	r.Step(12)
+	r.Step(12) // the claim expired with cycle 11
 	if len(sink.flits) != 1 {
-		t.Fatal("flit stuck after claim released")
+		t.Fatal("flit stuck after claim expired")
 	}
 }
 
@@ -197,14 +188,12 @@ func TestHoldBlocksSA(t *testing.T) {
 	r.ReceiveFlit(2, 0, message.Flit{Pkt: p}, 10)
 	r.VCAt(2, 0).Hold = true
 	for c := sim.Cycle(10); c < 15; c++ {
-		r.ResetClaims()
 		r.Step(c)
 	}
 	if len(sink.flits) != 0 {
 		t.Fatal("held VC moved through SA")
 	}
 	r.VCAt(2, 0).Hold = false
-	r.ResetClaims()
 	r.Step(16)
 	if len(sink.flits) != 1 {
 		t.Fatal("flit stuck after hold cleared")
@@ -219,12 +208,10 @@ func TestOneFlitPerOutputPerCycle(t *testing.T) {
 	p2 := &message.Packet{ID: 2, Dst: 5, VNet: 1, Size: 1}
 	r.ReceiveFlit(2, 0, message.Flit{Pkt: p1}, 10)
 	r.ReceiveFlit(3, int8(r.Cfg.VCIndex(1, 0)) /* vnet1 vc */, message.Flit{Pkt: p2}, 10)
-	r.ResetClaims()
 	r.Step(11)
 	if len(sink.flits) != 1 {
 		t.Fatalf("output port carried %d flits in one cycle", len(sink.flits))
 	}
-	r.ResetClaims()
 	r.Step(12)
 	if len(sink.flits) != 2 {
 		t.Fatal("second flit never granted")
@@ -237,14 +224,12 @@ func TestEjectionAdmission(t *testing.T) {
 	p := pkt(1)
 	r.ReceiveFlit(2, 0, message.Flit{Pkt: p}, 10)
 	for c := sim.Cycle(10); c < 15; c++ {
-		r.ResetClaims()
 		r.Step(c)
 	}
 	if len(local.got) != 0 {
 		t.Fatal("head ejected despite a full ejection queue")
 	}
 	local.accept = true
-	r.ResetClaims()
 	r.Step(16)
 	if len(local.got) != 1 {
 		t.Fatal("flit not ejected after queue freed")
@@ -344,14 +329,12 @@ func TestUpSentMask(t *testing.T) {
 	r := router.New(topo.Node(0), router.DefaultConfig(), sink, &mockLocal{accept: true}, route, sim.NewRNG(1))
 	p := &message.Packet{ID: 1, Dst: 20, VNet: message.VNetResponse, Size: 1}
 	r.ReceiveFlit(1, int8(r.Cfg.VCIndex(message.VNetResponse, 0)), message.Flit{Pkt: p}, 10)
-	r.ResetClaims()
 	r.Step(11)
-	if r.UpSentMask() != 1<<uint(message.VNetResponse) {
-		t.Fatalf("up mask %b", r.UpSentMask())
+	if r.UpSentMask(11) != 1<<uint(message.VNetResponse) {
+		t.Fatalf("up mask %b", r.UpSentMask(11))
 	}
-	r.ResetClaims()
-	if r.UpSentMask() != 0 {
-		t.Fatal("mask survives ResetClaims")
+	if r.UpSentMask(12) != 0 {
+		t.Fatal("mask must expire with the cycle it was recorded for")
 	}
 }
 
@@ -388,19 +371,20 @@ func TestEjectDirect(t *testing.T) {
 
 func TestClaimsAreExclusive(t *testing.T) {
 	r, _, _ := testRouter(t, 1)
-	r.ResetClaims()
-	if !r.ClaimOutput(1) || r.ClaimOutput(1) {
+	if !r.ClaimOutput(1, 20) || r.ClaimOutput(1, 20) {
 		t.Fatal("output claim not exclusive")
 	}
-	if !r.ClaimInput(2) || r.ClaimInput(2) {
+	if !r.ClaimInput(2, 20) || r.ClaimInput(2, 20) {
 		t.Fatal("input claim not exclusive")
 	}
-	if !r.OutputClaimed(1) {
+	if !r.OutputClaimed(1, 20) {
 		t.Fatal("claim not visible")
 	}
-	r.ResetClaims()
-	if r.OutputClaimed(1) {
-		t.Fatal("claim survived reset")
+	if r.OutputClaimed(1, 21) {
+		t.Fatal("claim survived into the next cycle")
+	}
+	if !r.ClaimOutput(1, 21) {
+		t.Fatal("expired claim blocks re-claiming")
 	}
 }
 
