@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json figures figures-full demo fmt vet clean
+.PHONY: all build test test-short race bench bench-json profile figures figures-full demo fmt vet clean
 
 all: build test
 
@@ -23,9 +23,18 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Measure the cycle kernel (active-set vs naive, three load levels) and
-# record the perf trajectory in BENCH_kernel.json.
+# record the perf trajectory in BENCH_kernel.json; then the allocation
+# axis (pooled vs unpooled, allocs/B per cycle, GC counts) in
+# BENCH_alloc.json.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_kernel.json
+	$(GO) run ./cmd/benchjson -alloc -out BENCH_alloc.json
+
+# CPU + heap pprof of the saturation workload (every allocation
+# attributed). Inspect with `go tool pprof -sample_index=alloc_objects
+# profiles/mem.pprof`.
+profile:
+	$(GO) run ./cmd/profile -cpu profiles/cpu.pprof -mem profiles/mem.pprof
 
 # Regenerate the paper's evaluation (quick durations). Runs fan out across
 # GOMAXPROCS workers (override with UPP_JOBS or `-jobs`); the output is

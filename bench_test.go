@@ -357,12 +357,20 @@ func BenchmarkComposableSearch(b *testing.B) {
 // simulated cycle. Active/naive pairs at the same rate quantify the
 // active-set kernel's win (large at low load, where most components are
 // idle; ~neutral at saturation, where everything is awake anyway).
+// allocs/op and B/op are reported per cycle: with pooling on, stable
+// loads settle at ~0 once buffers reach their high-water marks.
 func benchKernel(b *testing.B, kernel string, rate float64) {
 	b.Helper()
-	kb, err := experiments.NewKernelBench(kernel, rate)
+	benchKernelPool(b, kernel, rate, false)
+}
+
+func benchKernelPool(b *testing.B, kernel string, rate float64, disablePool bool) {
+	b.Helper()
+	kb, err := experiments.NewKernelBenchPool(kernel, rate, disablePool)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	kb.Run(b.N)
 }
@@ -376,4 +384,13 @@ func BenchmarkKernelActiveSaturation(b *testing.B) {
 }
 func BenchmarkKernelNaiveSaturation(b *testing.B) {
 	benchKernel(b, network.KernelNaive, 0.20)
+}
+
+// The unpooled variants are the "before" leg of the allocation story
+// (cmd/benchjson -alloc records the same axis into BENCH_alloc.json).
+func BenchmarkKernelActiveMidLoadNoPool(b *testing.B) {
+	benchKernelPool(b, network.KernelActive, 0.05, true)
+}
+func BenchmarkKernelActiveSaturationNoPool(b *testing.B) {
+	benchKernelPool(b, network.KernelActive, 0.20, true)
 }

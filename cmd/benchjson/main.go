@@ -2,6 +2,10 @@
 // measurement as the BenchmarkKernel* benchmarks in bench_test.go) and
 // writes the results as JSON, so the repository's perf trajectory is
 // recorded in a diffable artifact. Run via `make bench-json`.
+//
+// With -alloc it instead measures the memory axis: allocations and
+// bytes per simulated cycle with packet pooling on and off, plus GC
+// counts over a fixed run, written as BENCH_alloc.json.
 package main
 
 import (
@@ -35,6 +39,38 @@ type measurement struct {
 	Kernel     string  `json:"kernel"`
 	Cycles     int     `json:"cycles"`
 	NsPerCycle float64 `json:"ns_per_cycle"`
+}
+
+// allocMeasurement is one row of the -alloc report: the per-cycle
+// allocation profile of the benchmark loop plus GC pressure over a
+// fixed-length run, with pooling on or off.
+type allocMeasurement struct {
+	Load           string  `json:"load"`
+	Rate           float64 `json:"rate"`
+	Pooling        bool    `json:"pooling"`
+	Cycles         int     `json:"cycles"`
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	// GC pressure over a separate fixed run of FixedCycles cycles,
+	// measured with runtime.ReadMemStats deltas.
+	FixedCycles int    `json:"fixed_cycles"`
+	GCCycles    uint32 `json:"gc_cycles"`
+	Mallocs     uint64 `json:"mallocs"`
+	TotalAlloc  uint64 `json:"total_alloc_bytes"`
+	PoolReuses  uint64 `json:"pool_reuses"`
+}
+
+type allocReport struct {
+	Date         string             `json:"date"`
+	GoVersion    string             `json:"go_version"`
+	GOOS         string             `json:"goos"`
+	GOARCH       string             `json:"goarch"`
+	NumCPU       int                `json:"num_cpu"`
+	Measurements []allocMeasurement `json:"measurements"`
+	// AllocReduction maps load label to unpooled/pooled mallocs ratio over
+	// the fixed run: >1 means pooling removes allocations.
+	AllocReduction map[string]float64 `json:"malloc_reduction_pooled"`
 }
 
 type report struct {
@@ -71,9 +107,113 @@ func measure(kernel string, rate float64) (measurement, error) {
 	}, nil
 }
 
+// measureAlloc benchmarks per-cycle allocation behavior with pooling on
+// or off, then runs a fixed window under ReadMemStats bracketing so GC
+// counts are comparable across machines regardless of how testing.B
+// chose N.
+func measureAlloc(rate float64, disablePool bool) (allocMeasurement, error) {
+	const fixedCycles = 20000
+	var buildErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		kb, err := experiments.NewKernelBenchPool(network.KernelActive, rate, disablePool)
+		if err != nil {
+			buildErr = err
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		kb.Run(b.N)
+	})
+	if buildErr != nil {
+		return allocMeasurement{}, buildErr
+	}
+	kb, err := experiments.NewKernelBenchPool(network.KernelActive, rate, disablePool)
+	if err != nil {
+		return allocMeasurement{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	kb.Run(fixedCycles)
+	runtime.ReadMemStats(&after)
+	return allocMeasurement{
+		Rate:           rate,
+		Pooling:        !disablePool,
+		Cycles:         r.N,
+		NsPerCycle:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerCycle: float64(r.MemAllocs) / float64(r.N),
+		BytesPerCycle:  float64(r.MemBytes) / float64(r.N),
+		FixedCycles:    fixedCycles,
+		GCCycles:       after.NumGC - before.NumGC,
+		Mallocs:        after.Mallocs - before.Mallocs,
+		TotalAlloc:     after.TotalAlloc - before.TotalAlloc,
+		PoolReuses:     kb.Network().PacketPool().Stats.Reuses,
+	}, nil
+}
+
+func runAlloc(out string) {
+	rep := allocReport{
+		Date:           time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		AllocReduction: map[string]float64{},
+	}
+	mallocs := map[string]map[bool]uint64{}
+	for _, l := range loads {
+		mallocs[l.Label] = map[bool]uint64{}
+		for _, disablePool := range []bool{true, false} {
+			fmt.Fprintf(os.Stderr, "benchjson: %s load (rate %.2f), pooling=%v...\n", l.Label, l.Rate, !disablePool)
+			m, err := measureAlloc(l.Rate, disablePool)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			m.Load = l.Label
+			rep.Measurements = append(rep.Measurements, m)
+			mallocs[l.Label][!disablePool] = m.Mallocs
+		}
+		if pooled := mallocs[l.Label][true]; pooled > 0 {
+			rep.AllocReduction[l.Label] = float64(mallocs[l.Label][false]) / float64(pooled)
+		}
+	}
+	writeJSON(out, rep)
+	for _, m := range rep.Measurements {
+		fmt.Fprintf(os.Stderr, "  %-10s pooling=%-5v %8.2f allocs/cycle %10.1f B/cycle, %3d GCs / %d cycles\n",
+			m.Load, m.Pooling, m.AllocsPerCycle, m.BytesPerCycle, m.GCCycles, m.FixedCycles)
+	}
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", path)
+}
+
 func main() {
-	out := flag.String("out", "BENCH_kernel.json", "output JSON path")
+	alloc := flag.Bool("alloc", false, "measure allocations/GC (pooled vs unpooled) instead of kernel speed")
+	out := flag.String("out", "", "output JSON path (default BENCH_kernel.json, or BENCH_alloc.json with -alloc)")
 	flag.Parse()
+	if *out == "" {
+		if *alloc {
+			*out = "BENCH_alloc.json"
+		} else {
+			*out = "BENCH_kernel.json"
+		}
+	}
+	if *alloc {
+		runAlloc(*out)
+		return
+	}
 
 	rep := report{
 		Date:      time.Now().UTC().Format(time.RFC3339),
@@ -99,17 +239,7 @@ func main() {
 		}
 		rep.Speedup[l.Label] = perLoad[l.Label][network.KernelNaive] / perLoad[l.Label][network.KernelActive]
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+	writeJSON(*out, rep)
 	for _, l := range loads {
 		fmt.Fprintf(os.Stderr, "  %-10s active %8.0f ns/cycle, naive %8.0f ns/cycle (%.2fx)\n",
 			l.Label, perLoad[l.Label][network.KernelActive], perLoad[l.Label][network.KernelNaive], rep.Speedup[l.Label])

@@ -122,13 +122,15 @@ func (s *System) homeDir(addr uint64) topology.NodeID {
 // go through Core.send / Directory.send which manage their queues.
 func (s *System) newPacket(src, dst topology.NodeID, class message.Class, addr uint64) *message.Packet {
 	s.txnSeq++
-	p := &message.Packet{
-		Src:   src,
-		Dst:   dst,
-		Class: class,
-		Addr:  addr,
-		Txn:   s.txnSeq,
-	}
+	// Recycled from the network's pool; released by the destination NI
+	// after consume. PEs snapshot the fields they need inside consume and
+	// never retain the packet pointer afterwards.
+	p := s.Net.AllocPacket()
+	p.Src = src
+	p.Dst = dst
+	p.Class = class
+	p.Addr = addr
+	p.Txn = s.txnSeq
 	switch class {
 	case message.ClassGetS, message.ClassGetM:
 		p.VNet = message.VNetRequest

@@ -43,7 +43,7 @@ func (u *UPP) drainChipletHop(p *popup, i int, cycle sim.Cycle) {
 	for vcIdx := 0; vcIdx < r.Cfg.NumVCs(); vcIdx++ {
 		vc := r.VCAt(ce.inPort, vcIdx)
 		f, ok := vc.FrontReady(cycle)
-		if !ok || f.Pkt != p.pkt {
+		if !ok || !p.holds(f.Pkt) {
 			continue
 		}
 		ce.vcIdx = int8(vcIdx)
@@ -138,7 +138,7 @@ func (u *UPP) drainOrigin(p *popup, cycle sim.Cycle) {
 	r := u.net.Router(p.origin)
 	vc := r.VCAt(p.port, p.vcIdx)
 	f, ok := vc.FrontReady(cycle)
-	if !ok || f.Pkt != p.pkt {
+	if !ok || !p.holds(f.Pkt) {
 		return
 	}
 	out := p.path[0].outPort

@@ -136,10 +136,12 @@ func (u *UPP) moveReqStop(node topology.NodeID, cycle sim.Cycle) {
 	})
 }
 
-// deliverReqStop processes a req/stop reaching the destination NI.
+// deliverReqStop processes a req/stop reaching the destination NI. It
+// addresses the destination through the popup's snapshot: a stop can
+// arrive after a cancelled popup's packet was consumed and recycled.
 func (u *UPP) deliverReqStop(p *popup, kind sigKind, cycle sim.Cycle) {
-	ni := u.net.NI(p.pkt.Dst)
-	ns := &u.nodes[p.pkt.Dst]
+	ni := u.net.NI(p.dst)
+	ns := &u.nodes[p.dst]
 	if kind == sigStop {
 		ni.CancelReservation(p.vnet, p.id)
 		ce := &ns.circuit[p.vnet]
@@ -150,7 +152,7 @@ func (u *UPP) deliverReqStop(p *popup, kind sigKind, cycle sim.Cycle) {
 		u.finishCancelled(p)
 		return
 	}
-	u.net.Trace("upp", p.pkt.Dst, "popup %d: UPP_req at destination NI (vnet %s)", p.id, p.vnet)
+	u.net.Trace("upp", p.dst, "popup %d: UPP_req at destination NI (vnet %s)", p.id, p.vnet)
 	id := p.id
 	ni.RequestReservation(p.vnet, p.id, cycle, func(grantCycle sim.Cycle) {
 		u.net.Stats.ReservationsGranted++
@@ -167,7 +169,7 @@ func (u *UPP) deliverReqStop(p *popup, kind sigKind, cycle sim.Cycle) {
 // paper's Fig. 4 wire format (18-bit req/stop, 9-bit ack, 32-bit buffers)
 // — the simulator moves structs, but the hardware budget must hold.
 func (u *UPP) assertEncodable(p *popup, kind sigKind) {
-	sig := message.Signal{VNet: p.vnet, Dst: p.pkt.Dst, Origin: p.origin, PopupID: p.id, InputVC: int8(p.vcIdx)}
+	sig := message.Signal{VNet: p.vnet, Dst: p.dst, Origin: p.origin, PopupID: p.id, InputVC: int8(p.vcIdx)}
 	switch kind {
 	case sigReq:
 		sig.Type = message.UPPReq
@@ -180,8 +182,10 @@ func (u *UPP) assertEncodable(p *popup, kind sigKind) {
 }
 
 // launchAck places the UPP_ack in the destination router's ack buffer.
+// Snapshot-addressed: the grant can fire for a popup cancelled after its
+// packet already ejected, consumed and recycled.
 func (u *UPP) launchAck(p *popup, cycle sim.Cycle) {
-	ns := &u.nodes[p.pkt.Dst]
+	ns := &u.nodes[p.dst]
 	if len(ns.acks)+ns.ackRes >= message.NumVNets {
 		panic("upp: ack buffer overflow (merging invariant violated)")
 	}
@@ -263,7 +267,7 @@ func (u *UPP) ackAtOrigin(popupID uint64, cycle sim.Cycle) {
 	}
 	r := u.net.Router(p.origin)
 	vc := r.VCAt(p.port, p.vcIdx)
-	if f, _, ok := vc.Front(); !ok || f.Pkt != p.pkt {
+	if f, _, ok := vc.Front(); !ok || !p.holds(f.Pkt) {
 		// The packet slipped away in the same cycle the ack landed; treat
 		// it as a late false positive: cancel and recycle the reservation.
 		p.cancelled = true
@@ -272,11 +276,14 @@ func (u *UPP) ackAtOrigin(popupID uint64, cycle sim.Cycle) {
 		u.net.Stats.PopupsCancelled++
 		return
 	}
+	// holds established the packet is the live incarnation at the front
+	// of the tracked VC; livePkt re-asserts before mutation.
+	lp := p.livePkt()
 	p.stage = stageDrain
 	p.drainStart = cycle
-	p.pkt.Popup = true
-	p.pkt.PopupID = p.id
+	lp.Popup = true
+	lp.PopupID = p.id
 	vc.Hold = true
 	u.net.Stats.PopupsStarted++
-	u.net.Trace("upp", p.origin, "popup %d: UPP_ack received; draining pkt%d through the circuit", p.id, p.pkt.ID)
+	u.net.Trace("upp", p.origin, "popup %d: UPP_ack received; draining pkt%d through the circuit", p.id, p.pktID)
 }

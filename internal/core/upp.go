@@ -81,11 +81,27 @@ type hop struct {
 }
 
 // popup is one recovery instance.
+//
+// Packet ownership: the popup does not own its packet — the pool
+// releases it through the destination NI once the PE consumes it, which
+// for a cancelled popup can happen while the popup still waits for its
+// stop/ack signals to sweep the path. The popup therefore snapshots
+// everything it needs after cancellation (dst, dstChiplet, pktID) at
+// creation time, and all identity checks against in-flight flits go
+// through holds(), which pairs the pointer comparison with a generation
+// check (pointer equality alone is ABA-unsafe once packets recycle).
 type popup struct {
 	id     uint64
 	vnet   message.VNet
 	origin topology.NodeID
 	pkt    *message.Packet
+	// pktGen is the packet's pool generation at selection time; dst,
+	// dstChiplet and pktID snapshot the fields used on paths that may
+	// run after the packet was consumed and recycled.
+	pktGen     uint32
+	dst        topology.NodeID
+	dstChiplet int
+	pktID      uint64
 	// Tracked VC at the origin interposer router.
 	port     topology.PortID
 	vcIdx    int
@@ -102,6 +118,24 @@ type popup struct {
 	ackLaunched    bool
 	ackDone        bool
 	tailLeftOrigin bool
+}
+
+// holds reports whether q is exactly the incarnation of the popup's
+// packet that was selected — same pointer and same pool generation. All
+// flit-identity checks use it instead of bare pointer equality.
+func (p *popup) holds(q *message.Packet) bool {
+	return q == p.pkt && q.Generation() == p.pktGen
+}
+
+// livePkt returns the popup's packet for paths that are only reached
+// while the packet is provably still in flight (e.g. drain, completion
+// at ejection), asserting the pool has not recycled it out from under
+// the popup. Always-on: these are cold recovery paths.
+func (p *popup) livePkt() *message.Packet {
+	if p.pkt.Generation() != p.pktGen || p.pkt.Released() {
+		panic(fmt.Sprintf("upp: popup %d references recycled packet %d (stale-generation access)", p.id, p.pktID))
+	}
+	return p.pkt
 }
 
 // circuitEntry is a chiplet router's per-VNet crossbar connection record,
@@ -183,6 +217,10 @@ type UPP struct {
 	tokens [][message.NumVNets]uint64 // holder popup ID per (chiplet, vnet); 0 = free
 	popups map[uint64]*popup
 	nextID uint64
+	// sorted is sortedPopups' reusable scratch buffer (recovery cycles
+	// run several passes over the active set; reusing the slice keeps
+	// them allocation-light).
+	sorted []*popup
 }
 
 // New returns a UPP scheme instance.
@@ -258,14 +296,22 @@ func (u *UPP) EndOfCycle(cycle sim.Cycle) {
 	u.checkProceeded(cycle)
 }
 
-// sortedPopups returns active popups in deterministic (id) order.
+// sortedPopups returns active popups in deterministic (id) order. The
+// returned slice is the scheme's scratch buffer — valid until the next
+// call, which every caller satisfies (they iterate it immediately).
 func (u *UPP) sortedPopups() []*popup {
 	if len(u.popups) == 0 {
 		return nil
 	}
-	ps := make([]*popup, 0, len(u.popups))
+	prev := len(u.sorted)
+	ps := u.sorted[:0]
 	for _, p := range u.popups {
 		ps = append(ps, p)
+	}
+	// Zero any vacated tail so the scratch buffer does not retain
+	// retired popups (and through them, packet pointers).
+	for i := len(ps); i < prev; i++ {
+		u.sorted[i] = nil
 	}
 	// Insertion sort: the set is tiny.
 	for i := 1; i < len(ps); i++ {
@@ -273,6 +319,7 @@ func (u *UPP) sortedPopups() []*popup {
 			ps[j-1], ps[j] = ps[j], ps[j-1]
 		}
 	}
+	u.sorted = ps
 	return ps
 }
 
@@ -368,15 +415,19 @@ func (u *UPP) startPopup(r *router.Router, ns *nodeState, vnet message.VNet, por
 	}
 	u.nextID++
 	p := &popup{
-		id:       u.nextID,
-		vnet:     vnet,
-		origin:   r.ID,
-		pkt:      f.Pkt,
-		port:     port,
-		vcIdx:    vcIdx,
-		frontSeq: f.Seq,
-		path:     path,
-		stage:    stageReq,
+		id:         u.nextID,
+		vnet:       vnet,
+		origin:     r.ID,
+		pkt:        f.Pkt,
+		pktGen:     f.Pkt.Generation(),
+		dst:        f.Pkt.Dst,
+		dstChiplet: u.net.Topo.Node(f.Pkt.Dst).Chiplet,
+		pktID:      f.Pkt.ID,
+		port:       port,
+		vcIdx:      vcIdx,
+		frontSeq:   f.Seq,
+		path:       path,
+		stage:      stageReq,
 	}
 	ns.entry[vnet] = p
 	ns.rr[vnet] = int(port)*r.Cfg.NumVCs() + vcIdx
@@ -478,12 +529,12 @@ func (u *UPP) checkProceeded(cycle sim.Cycle) {
 		r := u.net.Router(p.origin)
 		vc := r.VCAt(p.port, p.vcIdx)
 		f, _, ok := vc.Front()
-		if ok && f.Pkt == p.pkt && f.Seq == p.frontSeq {
+		if ok && p.holds(f.Pkt) && f.Seq == p.frontSeq {
 			continue // still stalled
 		}
 		p.cancelled = true
 		u.net.Stats.PopupsCancelled++
-		u.net.Trace("upp", p.origin, "popup %d: pkt%d proceeded normally; cancelling", p.id, p.pkt.ID)
+		u.net.Trace("upp", p.origin, "popup %d: pkt%d proceeded normally; cancelling", p.id, p.pktID)
 		if !p.reqSent {
 			// The req never left; nothing to clean up remotely.
 			u.finishCancelled(p)
@@ -508,16 +559,18 @@ func (u *UPP) finishCancelled(p *popup) {
 	delete(u.popups, p.id)
 }
 
-// releaseOrigin frees the origin entry and the chiplet/VNet token.
+// releaseOrigin frees the origin entry and the chiplet/VNet token. It
+// uses the snapshotted destination chiplet: for a cancelled popup the
+// packet may already be consumed and recycled by the time the stop/ack
+// cleanup reaches here.
 func (u *UPP) releaseOrigin(p *popup) {
 	ns := &u.nodes[p.origin]
 	if ns.entry[p.vnet] == p {
 		ns.entry[p.vnet] = nil
 		ns.counters[p.vnet] = 0
 	}
-	chiplet := u.net.Topo.Node(p.pkt.Dst).Chiplet
-	if u.tokens[chiplet][p.vnet] == p.id {
-		u.tokens[chiplet][p.vnet] = 0
+	if u.tokens[p.dstChiplet][p.vnet] == p.id {
+		u.tokens[p.dstChiplet][p.vnet] = 0
 	}
 }
 
@@ -543,7 +596,7 @@ func (u *UPP) OnPacketEjected(_ *network.NI, pkt *message.Packet, cycle sim.Cycl
 		return
 	}
 	p := u.popups[pkt.PopupID]
-	if p == nil || p.pkt != pkt {
+	if p == nil || !p.holds(pkt) {
 		return
 	}
 	u.completePopup(p, cycle)
@@ -568,9 +621,11 @@ func (u *UPP) completePopup(p *popup, cycle sim.Cycle) {
 			*ce = circuitEntry{vcIdx: -1}
 		}
 	}
-	p.pkt.Popup = false
+	// completePopup runs at tail ejection, before the NI's consume step
+	// releases the packet — livePkt asserts that ordering.
+	p.livePkt().Popup = false
 	u.releaseOrigin(p)
 	delete(u.popups, p.id)
 	u.net.Stats.PopupsCompleted++
-	u.net.Trace("upp", p.pkt.Dst, "popup %d: pkt%d fully ejected; recovery complete", p.id, p.pkt.ID)
+	u.net.Trace("upp", p.dst, "popup %d: pkt%d fully ejected; recovery complete", p.id, p.pktID)
 }

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"uppnoc/internal/network"
+)
+
+// TestSteadyStateZeroAlloc pins the steady-state simulation loop at
+// exactly zero heap allocations. The recipe matters: the pool is
+// preallocated past the live high-water mark and the warmup is long
+// enough that every lazily-grown buffer (injection rings, waiter and
+// completion slices, wheel slots, router scratch) has reached its
+// steady-state capacity. After that, a measurement window must not
+// allocate at all — any regression (a map rebuilt per cycle, a slice
+// regrown from zero, a closure capture in the hot path) fails this test
+// with a nonzero count.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second warmup")
+	}
+	if os.Getenv("UPP_NOPOOL") != "" {
+		t.Skip("pooling disabled via UPP_NOPOOL")
+	}
+	kb, err := NewKernelBench(network.KernelActive, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb.Network().PacketPool().Preallocate(4096)
+	kb.Run(20000) // reach steady-state occupancy and buffer high-water marks
+	allocs := testing.AllocsPerRun(10, func() {
+		kb.Run(500)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state window allocated %.2f objects per 500 cycles; want exactly 0", allocs)
+	}
+	st := kb.Network().PacketPool().Stats
+	if st.Reuses == 0 {
+		t.Fatal("pool never recycled a packet — the zero-alloc result is vacuous")
+	}
+}

@@ -13,7 +13,8 @@ import (
 // cmd/benchjson and the BenchmarkKernel* benchmarks share it so the
 // recorded perf trajectory measures exactly what the benchmarks do.
 type KernelBench struct {
-	g *traffic.Generator
+	g   *traffic.Generator
+	net *network.Network
 }
 
 // NewKernelBench builds a baseline system under the given cycle kernel
@@ -21,20 +22,33 @@ type KernelBench struct {
 // steady-state occupancy rather than a cold, empty network (which would
 // flatter the active-set kernel).
 func NewKernelBench(kernel string, rate float64) (*KernelBench, error) {
+	return NewKernelBenchPool(kernel, rate, false)
+}
+
+// NewKernelBenchPool is NewKernelBench with explicit control over packet
+// pooling — the before/after axis of the allocation benchmarks
+// (cmd/benchjson's BENCH_alloc.json) and the pooled-vs-unpooled
+// equivalence tests.
+func NewKernelBenchPool(kernel string, rate float64, disablePool bool) (*KernelBench, error) {
 	topo, err := topology.Build(topology.BaselineConfig())
 	if err != nil {
 		return nil, err
 	}
 	cfg := network.DefaultConfig()
 	cfg.Kernel = kernel
+	cfg.DisablePool = disablePool
 	n, err := network.New(topo, cfg, core.New(core.DefaultConfig()))
 	if err != nil {
 		return nil, err
 	}
-	kb := &KernelBench{g: traffic.NewGenerator(n, traffic.UniformRandom{}, rate, 99)}
+	kb := &KernelBench{g: traffic.NewGenerator(n, traffic.UniformRandom{}, rate, 99), net: n}
 	kb.g.Run(2000)
 	return kb, nil
 }
+
+// Network exposes the benched network (pool preallocation and stats for
+// the allocation harness).
+func (kb *KernelBench) Network() *network.Network { return kb.net }
 
 // Run advances the simulation the given number of cycles.
 func (kb *KernelBench) Run(cycles int) { kb.g.Run(cycles) }

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+// TestPoolCSVGolden: the CSV artifacts of the figure pipeline must be
+// byte-identical with packet pooling on and off. This is the
+// end-to-end leg of the recycling equivalence proof: Fig2 plus the real
+// fig7 latencyFigure path (sweeps, truncation, summary stats) rendered
+// under both modes, covering every scheme the figures run — including
+// UPP past the knee where popups recycle packets mid-protocol.
+func TestPoolCSVGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	dur := Durations{Warmup: 500, Measure: 2500}
+	render := func(nopool string) string {
+		t.Setenv("UPP_NOPOOL", nopool)
+		tables, err := Fig2(PoolOptions{Jobs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig7, err := latencyFigure("fig7", topology.BaselineConfig(),
+			[]traffic.Pattern{traffic.UniformRandom{}}, dur, PoolOptions{Jobs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, tb := range append(tables, fig7...) {
+			sb.WriteString(tb.CSV())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	pooled := render("")
+	plain := render("1")
+	if pooled == plain {
+		return
+	}
+	pl, nl := strings.Split(pooled, "\n"), strings.Split(plain, "\n")
+	for i := 0; i < len(pl) && i < len(nl); i++ {
+		if pl[i] != nl[i] {
+			t.Fatalf("CSV output diverges at line %d:\npooled:   %s\nunpooled: %s", i+1, pl[i], nl[i])
+		}
+	}
+	t.Fatalf("CSV lengths differ: pooled %d lines, unpooled %d lines", len(pl), len(nl))
+}

@@ -137,7 +137,31 @@ type Packet struct {
 	// expected invalidation acks).
 	AuxNode  topology.NodeID
 	AuxCount int32
+
+	// gen counts this packet's pool incarnations. Pool.Put bumps it, so a
+	// holder that snapshotted Generation() can later detect that its
+	// pointer now names a recycled packet (the ABA guard for pooled
+	// reuse). pooled marks packets owned by a Pool — foreign packets
+	// (tests and examples build them with &Packet{}) pass through Put
+	// untouched and are never recycled. released marks a packet currently
+	// sitting in the freelist; any simulator component seeing a released
+	// packet in flight is a use-after-free.
+	gen      uint32
+	pooled   bool
+	released bool
 }
+
+// Generation returns the packet's pool incarnation counter. It changes
+// every time the packet is released, so comparing a snapshot against the
+// current value detects reuse-after-release.
+func (p *Packet) Generation() uint32 { return p.gen }
+
+// Pooled reports whether the packet is owned by a Pool.
+func (p *Packet) Pooled() bool { return p.pooled }
+
+// Released reports whether the packet is currently in a freelist. A
+// released packet must not be referenced by live simulation state.
+func (p *Packet) Released() bool { return p.released }
 
 // IsInterChiplet reports whether the packet must cross the interposer:
 // source and destination are on different chiplets, or either endpoint is

@@ -1,0 +1,10 @@
+//go:build !uppdebug
+
+package message
+
+// PoolDebug gates hot-path stale-generation assertions (released packets
+// observed in router pipelines, NI queues or wheel slots). Off by
+// default so the checks compile away; build with -tags uppdebug to
+// enable them. Cold-path assertions (UPP popup ownership, double
+// release) are always on.
+const PoolDebug = false

@@ -1,0 +1,7 @@
+//go:build uppdebug
+
+package message
+
+// PoolDebug gates hot-path stale-generation assertions. This build has
+// them enabled (-tags uppdebug); see pooldebug_off.go for the default.
+const PoolDebug = true

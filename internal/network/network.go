@@ -46,6 +46,13 @@ type Config struct {
 	// empty) or KernelNaive. When empty, the UPP_KERNEL environment
 	// variable is consulted before falling back to the active-set kernel.
 	Kernel string
+	// DisablePool turns off packet recycling: AllocPacket falls back to
+	// plain heap allocation and nothing is released. The simulation is
+	// bit-identical either way (the golden equivalence tests prove it);
+	// the switch exists as a debug escape hatch and for before/after
+	// allocation measurements. The UPP_NOPOOL environment variable (any
+	// non-empty value) disables pooling the same way.
+	DisablePool bool
 }
 
 // DefaultConfig mirrors Table II with 1 VC per VNet.
@@ -117,6 +124,12 @@ type Network struct {
 	nextID uint64
 	tracer Tracer
 
+	// pool recycles packets (see internal/message.Pool for the ownership
+	// protocol); pooling caches the resolved DisablePool/UPP_NOPOOL
+	// switch.
+	pool    message.Pool
+	pooling bool
+
 	// Active-set scheduling state (KernelActive): a component is awake
 	// from the wake event that gave it work until the retirement pass
 	// finds it idle. The per-cycle walk visits awake components in
@@ -159,8 +172,16 @@ func New(t *topology.Topology, cfg Config, scheme Scheme) (*Network, error) {
 		return nil, fmt.Errorf("network: unknown kernel %q (from UPP_KERNEL; want %q or %q)",
 			n.kernel, KernelActive, KernelNaive)
 	}
+	n.pooling = !cfg.DisablePool && os.Getenv("UPP_NOPOOL") == ""
 	n.routerAwake = make([]bool, t.NumNodes())
 	n.niAwake = make([]bool, t.NumNodes())
+	// Pre-size the event wheel slots: steady state never grows them, so
+	// the per-cycle append in DeliverFlit/DeliverCredit stays in place.
+	// Capacity beyond the initial guess is grown once and then reused —
+	// deliverEvents truncates to length 0 without freeing the array.
+	for i := range n.wheel {
+		n.wheel[i] = make([]event, 0, 16)
+	}
 	var local routing.Local
 	switch {
 	case cfg.UseUpDown:
@@ -265,6 +286,38 @@ func (n *Network) NewPacketID() uint64 {
 	n.nextID++
 	return n.nextID
 }
+
+// AllocPacket returns a zeroed packet for injection into this network —
+// recycled from the pool when pooling is enabled, freshly allocated
+// otherwise. Packet producers (the traffic generator, the coherence
+// PEs) allocate through it; the destination NI releases the packet
+// after the PE consumes the reassembled message. Callers that keep a
+// packet pointer past consumption must snapshot what they need or hold
+// a generation-stamped message.PacketRef.
+func (n *Network) AllocPacket() *message.Packet {
+	if !n.pooling {
+		return &message.Packet{}
+	}
+	return n.pool.Get()
+}
+
+// releasePacket returns a consumed packet to the pool. The only caller
+// is NI.consumeStep — the single release point of the ownership
+// protocol.
+func (n *Network) releasePacket(p *message.Packet) {
+	if !n.pooling {
+		return
+	}
+	n.pool.Put(p)
+}
+
+// PacketPool exposes the network's pool for preallocation and stats
+// (benchmarks, soak tests).
+func (n *Network) PacketPool() *message.Pool { return &n.pool }
+
+// Pooling reports whether packet recycling is enabled (Config.DisablePool
+// and the UPP_NOPOOL environment variable both turn it off).
+func (n *Network) Pooling() bool { return n.pooling }
 
 // prepare stamps routing state on a freshly enqueued packet.
 func (n *Network) prepare(p *message.Packet) {
@@ -372,6 +425,13 @@ func (n *Network) deliverEvents(cycle sim.Cycle, wake bool) {
 		case evCall:
 			e.fn(cycle)
 		}
+		// Drop the processed event's references (flit packet pointer,
+		// call closure): the slot array is reused at its grown capacity,
+		// and a retained entry would pin a released packet until the
+		// slot next overwrites it. Safe to clear in place — Schedule and
+		// the Deliver* sinks bound deltas to [1, wheelSize), so nothing
+		// appends to the slot being drained.
+		*e = event{}
 	}
 }
 

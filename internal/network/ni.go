@@ -40,7 +40,7 @@ type NI struct {
 	cfg  router.Config
 
 	// Injection side.
-	injQ    [message.NumVNets][]*message.Packet
+	injQ    [message.NumVNets]pktRing
 	streams [message.NumVNets]stream
 	active  [message.NumVNets]bool
 	credits []int16
@@ -52,12 +52,24 @@ type NI struct {
 	ejOccupied [message.NumVNets]int
 	ejReserved [message.NumVNets]int
 	waiters    []reservationWaiter
-	assembly   map[uint64]int32
-	complete   []completed
+	// asm tracks packets mid-reassembly in reusable slots (at most one
+	// per ejection entry, so the scan is short). It replaced a
+	// map[uint64]int32 keyed by packet ID whose insert/delete churn
+	// allocated in steady state.
+	asm      []asmSlot
+	asmLive  int
+	complete []completed
 
 	// Consume delivers reassembled messages to the PE. Defaults to
 	// consume-immediately.
 	Consume Consumer
+}
+
+// asmSlot is one in-progress reassembly: the packet and how many of its
+// flits have arrived. A nil pkt marks a free slot.
+type asmSlot struct {
+	pkt *message.Packet
+	got int32
 }
 
 type completed struct {
@@ -67,14 +79,13 @@ type completed struct {
 
 func newNI(net *Network, node topology.NodeID, r *router.Router, cfg router.Config, ejCap int) *NI {
 	ni := &NI{
-		Node:     node,
-		net:      net,
-		r:        r,
-		cfg:      cfg,
-		ejCap:    ejCap,
-		credits:  make([]int16, cfg.NumVCs()),
-		busy:     make([]bool, cfg.NumVCs()),
-		assembly: make(map[uint64]int32),
+		Node:    node,
+		net:     net,
+		r:       r,
+		cfg:     cfg,
+		ejCap:   ejCap,
+		credits: make([]int16, cfg.NumVCs()),
+		busy:    make([]bool, cfg.NumVCs()),
 	}
 	for i := range ni.credits {
 		ni.credits[i] = int16(cfg.BufferDepth)
@@ -89,19 +100,19 @@ func newNI(net *Network, node topology.NodeID, r *router.Router, cfg router.Conf
 func (ni *NI) Enqueue(p *message.Packet, cycle sim.Cycle) {
 	p.BirthCycle = cycle
 	ni.net.prepare(p)
-	ni.injQ[p.VNet] = append(ni.injQ[p.VNet], p)
+	ni.injQ[p.VNet].Push(p)
 	ni.net.Stats.BornPackets++
 	ni.net.wakeNI(ni.Node)
 }
 
 // InjQueueLen returns the injection queue depth of a VNet (coherence PEs
 // use it to decide whether a request can be processed — proof case 2).
-func (ni *NI) InjQueueLen(v message.VNet) int { return len(ni.injQ[v]) }
+func (ni *NI) InjQueueLen(v message.VNet) int { return ni.injQ[v].Len() }
 
 // InjSpace reports whether the injection queue of v has room under cap
 // (<=0 means unbounded).
 func (ni *NI) InjSpace(v message.VNet, cap int) bool {
-	return cap <= 0 || len(ni.injQ[v]) < cap
+	return cap <= 0 || ni.injQ[v].Len() < cap
 }
 
 // receiveCredit handles credits returned by the router's local input port.
@@ -114,14 +125,14 @@ func (ni *NI) receiveCredit(vc int8, delta int, free bool) {
 
 // Idle reports that stepping this NI would be a no-op: nothing to
 // consume, no reservation waiters, no queued or streaming injections.
-// Reassembly-in-progress (ni.assembly) does not require stepping — flits
+// Reassembly-in-progress (ni.asm) does not require stepping — flits
 // arrive through AcceptFlit, which wakes the NI when a packet completes.
 func (ni *NI) Idle() bool {
 	if len(ni.complete) > 0 || len(ni.waiters) > 0 {
 		return false
 	}
 	for v := 0; v < message.NumVNets; v++ {
-		if ni.active[v] || len(ni.injQ[v]) > 0 {
+		if ni.active[v] || ni.injQ[v].Len() > 0 {
 			return false
 		}
 	}
@@ -145,6 +156,17 @@ func (ni *NI) consumeStep(cycle sim.Cycle) {
 		}
 		ni.ejOccupied[c.pkt.VNet]--
 		ni.net.Stats.ConsumedPackets++
+		// The PE consumed the message: ownership ends here. Stats were
+		// recorded at tail ejection and scheme hooks (UPP popup
+		// completion) already ran, so this is the protocol's single
+		// release point.
+		ni.net.releasePacket(c.pkt)
+	}
+	// Zero the vacated tail: the in-place filter leaves the removed
+	// entries in the slack capacity, where their packet pointers would
+	// pin released packets until the slice regrows.
+	for i := len(kept); i < len(ni.complete); i++ {
+		ni.complete[i] = completed{}
 	}
 	ni.complete = kept
 }
@@ -162,16 +184,22 @@ func (ni *NI) grantWaiters(cycle sim.Cycle) {
 			kept = append(kept, w)
 		}
 	}
+	// Same tail hygiene as consumeStep: a granted waiter left in the
+	// slack capacity retains its grant closure and everything it
+	// captured.
+	for i := len(kept); i < len(ni.waiters); i++ {
+		ni.waiters[i] = reservationWaiter{}
+	}
 	ni.waiters = kept
 }
 
 func (ni *NI) injectStep(cycle sim.Cycle) {
 	// Start new streams: one attempt per VNet per cycle.
 	for v := 0; v < message.NumVNets; v++ {
-		if ni.active[v] || len(ni.injQ[v]) == 0 {
+		if ni.active[v] || ni.injQ[v].Len() == 0 {
 			continue
 		}
-		p := ni.injQ[v][0]
+		p := ni.injQ[v].Front()
 		if !ni.net.scheme.CanStartPacket(ni, p, cycle) {
 			continue
 		}
@@ -182,7 +210,7 @@ func (ni *NI) injectStep(cycle sim.Cycle) {
 		ni.busy[vc] = true
 		ni.streams[v] = stream{pkt: p, vc: vc}
 		ni.active[v] = true
-		ni.injQ[v] = ni.injQ[v][1:]
+		ni.injQ[v].Pop()
 	}
 	// The local port is one physical channel: one flit per cycle,
 	// round-robin over VNets with an active stream and credit.
@@ -201,8 +229,12 @@ func (ni *NI) injectStep(cycle sim.Cycle) {
 		if f.IsHead() {
 			st.pkt.InjectCycle = cycle
 			ni.net.Stats.InjectedPackets++
-			ni.net.Trace("inject", ni.Node, "pkt%d %s %d->%d (%d flits, queued %d cycles)",
-				st.pkt.ID, st.pkt.VNet, st.pkt.Src, st.pkt.Dst, st.pkt.Size, cycle-st.pkt.BirthCycle)
+			if ni.net.Tracing() {
+				// Guarded: the variadic argument boxing would allocate
+				// per injection even with tracing off.
+				ni.net.Trace("inject", ni.Node, "pkt%d %s %d->%d (%d flits, queued %d cycles)",
+					st.pkt.ID, st.pkt.VNet, st.pkt.Src, st.pkt.Dst, st.pkt.Size, cycle-st.pkt.BirthCycle)
+			}
 		}
 		ni.net.Stats.InjectedFlits++
 		st.next++
@@ -248,6 +280,12 @@ func (ni *NI) CanAcceptHead(p *message.Packet, _ sim.Cycle) bool {
 // reassembly and hand the message to the PE.
 func (ni *NI) AcceptFlit(f message.Flit, arrival sim.Cycle) {
 	p := f.Pkt
+	if p.Released() {
+		// A flit of a released packet reached an NI: some holder kept a
+		// stale pointer across the pool release. Always-on — ejection is
+		// once per flit, so the check is one bit test.
+		panic(fmt.Sprintf("ni %d: flit of released packet %d (stale-generation access)", ni.Node, p.ID))
+	}
 	if p.Popup && !p.PopupResUsed {
 		// The first popup-mode flit consumes the reserved entry — usually
 		// the head, but a body flit when the head already ejected normally
@@ -261,19 +299,59 @@ func (ni *NI) AcceptFlit(f message.Flit, arrival sim.Cycle) {
 	if f.IsHead() {
 		ni.ejOccupied[p.VNet]++
 	}
-	ni.assembly[p.ID]++
 	ni.net.Stats.EjectedFlits++
-	if int(ni.assembly[p.ID]) != p.Size {
+	if int(ni.asmAdd(p)) != p.Size {
 		return
 	}
-	delete(ni.assembly, p.ID)
+	ni.asmRemove(p)
 	p.EjectCycle = arrival
-	ni.net.Trace("eject", ni.Node, "pkt%d %s %d->%d latency=%d popup=%v",
-		p.ID, p.VNet, p.Src, p.Dst, p.EjectCycle-p.InjectCycle, p.Popup)
+	if ni.net.Tracing() {
+		ni.net.Trace("eject", ni.Node, "pkt%d %s %d->%d latency=%d popup=%v",
+			p.ID, p.VNet, p.Src, p.Dst, p.EjectCycle-p.InjectCycle, p.Popup)
+	}
 	ni.complete = append(ni.complete, completed{pkt: p, ready: arrival})
 	ni.net.wakeNI(ni.Node)
 	ni.net.recordEjected(p, arrival)
 	ni.net.scheme.OnPacketEjected(ni, p, arrival)
+}
+
+// asmAdd records one arrived flit of p, claiming a reassembly slot on
+// the first, and returns the new flit count. Slots are found by linear
+// scan: at most ejCap packets per VNet reassemble concurrently, so the
+// list stays a handful of entries.
+func (ni *NI) asmAdd(p *message.Packet) int32 {
+	freeIdx := -1
+	for i := range ni.asm {
+		switch ni.asm[i].pkt {
+		case p:
+			ni.asm[i].got++
+			return ni.asm[i].got
+		case nil:
+			if freeIdx < 0 {
+				freeIdx = i
+			}
+		}
+	}
+	if freeIdx < 0 {
+		ni.asm = append(ni.asm, asmSlot{})
+		freeIdx = len(ni.asm) - 1
+	}
+	ni.asm[freeIdx] = asmSlot{pkt: p, got: 1}
+	ni.asmLive++
+	return 1
+}
+
+// asmRemove frees p's reassembly slot (zeroing it so the slot does not
+// retain the packet).
+func (ni *NI) asmRemove(p *message.Packet) {
+	for i := range ni.asm {
+		if ni.asm[i].pkt == p {
+			ni.asm[i] = asmSlot{}
+			ni.asmLive--
+			return
+		}
+	}
+	panic(fmt.Sprintf("ni %d: reassembly slot for pkt %d not found", ni.Node, p.ID))
 }
 
 // RequestReservation implements the NI side of UPP_req (Sec. V-B): reserve
@@ -295,7 +373,14 @@ func (ni *NI) RequestReservation(vnet message.VNet, popupID uint64, cycle sim.Cy
 func (ni *NI) CancelReservation(vnet message.VNet, popupID uint64) {
 	for i, w := range ni.waiters {
 		if w.popupID == popupID {
-			ni.waiters = append(ni.waiters[:i], ni.waiters[i+1:]...)
+			// Splice i out, then zero the vacated tail slot: the plain
+			// append-splice leaves the last element duplicated in the
+			// slack capacity, retaining its grant closure (and whatever
+			// popup state it captured) until the slice regrows.
+			last := len(ni.waiters) - 1
+			copy(ni.waiters[i:], ni.waiters[i+1:])
+			ni.waiters[last] = reservationWaiter{}
+			ni.waiters = ni.waiters[:last]
 			return
 		}
 	}
@@ -311,9 +396,9 @@ func (ni *NI) Router() *router.Router { return ni.r }
 // Pending reports in-flight work at this NI: queued, streaming or
 // reassembling packets (used by drain loops and the watchdog).
 func (ni *NI) Pending() int {
-	n := len(ni.assembly) + len(ni.complete) + len(ni.waiters)
+	n := ni.asmLive + len(ni.complete) + len(ni.waiters)
 	for v := 0; v < message.NumVNets; v++ {
-		n += len(ni.injQ[v])
+		n += ni.injQ[v].Len()
 		if ni.active[v] {
 			n++
 		}

@@ -1,0 +1,53 @@
+package network
+
+import "uppnoc/internal/message"
+
+// pktRing is a growable ring buffer of packet pointers — the NI
+// injection queue. The previous representation (`q = append(q, p)` +
+// `q = q[1:]` to dequeue) marched through its backing array and
+// reallocated once per wraparound, a steady-state allocation per queue;
+// the ring reuses its slots and zeroes vacated ones so dequeued packets
+// are not retained.
+type pktRing struct {
+	buf  []*message.Packet
+	head int
+	n    int
+}
+
+// Len returns the queue depth.
+func (q *pktRing) Len() int { return q.n }
+
+// Front returns the oldest packet without removing it; nil when empty.
+func (q *pktRing) Front() *message.Packet {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// Push appends a packet, growing the ring geometrically when full (an
+// amortized warm-up cost; a warmed queue never grows again).
+func (q *pktRing) Push(p *message.Packet) {
+	if q.n == len(q.buf) {
+		grown := make([]*message.Packet, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+// Pop removes and returns the oldest packet, zeroing its slot.
+func (q *pktRing) Pop() *message.Packet {
+	if q.n == 0 {
+		panic("network: pop from empty injection queue")
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}

@@ -23,6 +23,11 @@ import (
 // link latency; network.Config.Validate enforces it.
 const PipelineDepth = 3
 
+// maxVCsPerVNet bounds VCsPerVNet so hot-path scratch arrays (the VC
+// selection candidate list in grant) can be fixed-size instead of
+// heap-allocated per head flit. The paper evaluates 1 and 4.
+const maxVCsPerVNet = 16
+
 // Config fixes the microarchitectural parameters shared by every router.
 type Config struct {
 	// VCsPerVNet is the number of virtual channels per virtual network
@@ -51,6 +56,8 @@ func (c Config) Validate() error {
 	switch {
 	case c.VCsPerVNet < 1:
 		return fmt.Errorf("router: VCsPerVNet must be >= 1")
+	case c.VCsPerVNet > maxVCsPerVNet:
+		return fmt.Errorf("router: VCsPerVNet must be <= %d", maxVCsPerVNet)
 	case c.BufferDepth < 1:
 		return fmt.Errorf("router: BufferDepth must be >= 1")
 	case c.LinkLatency < 1:

@@ -389,14 +389,19 @@ func (r *Router) grant(pi topology.PortID, vi int, cycle sim.Cycle) {
 			if r.Cfg.VCT {
 				need = int16(f.Pkt.Size)
 			}
-			free := make([]int8, 0, 8)
+			// Fixed-size candidate array (VCsPerVNet is bounded by
+			// Config.Validate): a make() here would allocate on every
+			// head grant.
+			var free [maxVCsPerVNet]int8
+			nf := 0
 			for k := 0; k < r.Cfg.VCsPerVNet; k++ {
 				dv := int8(r.Cfg.VCIndex(vnet, k))
 				if !out.Busy[dv] && out.Credits[dv] >= need {
-					free = append(free, dv)
+					free[nf] = dv
+					nf++
 				}
 			}
-			vc.OutVC = free[r.rng.Intn(len(free))]
+			vc.OutVC = free[r.rng.Intn(nf)]
 			out.Busy[vc.OutVC] = true
 		}
 		vc.State = VCActive

@@ -90,9 +90,21 @@ func (v *VC) FrontReady(cycle sim.Cycle) (message.Flit, bool) {
 	return f, true
 }
 
+// Scan calls fn for each buffered flit in FIFO order. Debug walkers
+// (Network.CheckNoReleasedInFlight) use it to audit buffer contents
+// without exposing the ring internals.
+func (v *VC) Scan(fn func(message.Flit)) {
+	for i := 0; i < v.count; i++ {
+		fn(v.buf[(v.head+i)%len(v.buf)].flit)
+	}
+}
+
 // push appends a flit. It panics on overflow — arrivals are credit-
 // controlled, so overflow is a flow-control bug worth failing loudly on.
 func (v *VC) push(f message.Flit, ready sim.Cycle) {
+	if message.PoolDebug && f.Pkt.Released() {
+		panic("router: buffering flit of released packet (stale-generation access)")
+	}
 	if v.count == len(v.buf) {
 		panic("router: VC buffer overflow (credit protocol violated)")
 	}

@@ -151,10 +151,11 @@ func (g *Generator) Tick(cycle sim.Cycle) {
 		if d == i {
 			continue
 		}
-		p := &message.Packet{
-			Src: src,
-			Dst: g.cores[d],
-		}
+		// Recycled from the network's pool: the destination NI releases
+		// the packet once its PE consumes it.
+		p := g.net.AllocPacket()
+		p.Src = src
+		p.Dst = g.cores[d]
 		if rng.Bernoulli(g.CtrlFraction) {
 			p.Size = message.ControlPacketFlits
 			p.Class = message.ClassSyntheticCtrl
