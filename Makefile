@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json profile figures figures-full demo fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-compare profile figures figures-full demo fmt vet clean
 
 all: build test
 
@@ -25,10 +25,19 @@ bench:
 # Measure the cycle kernel (active-set vs naive, three load levels) and
 # record the perf trajectory in BENCH_kernel.json; then the allocation
 # axis (pooled vs unpooled, allocs/B per cycle, GC counts) in
-# BENCH_alloc.json.
+# BENCH_alloc.json; then all three kernels incl. the sharded parallel
+# one, with num_cpu/GOMAXPROCS context, in BENCH_parallel.json.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_kernel.json
 	$(GO) run ./cmd/benchjson -alloc -out BENCH_alloc.json
+	$(GO) run ./cmd/benchjson -parallel -out BENCH_parallel.json
+
+# Re-measure the kernels and diff against the committed baseline; fails
+# when any ns_per_cycle regresses beyond 10% (tune with
+# `go run ./cmd/benchjson -compare -tolerance 0.2 old new`).
+bench-compare:
+	$(GO) run ./cmd/benchjson -out /tmp/BENCH_kernel_fresh.json
+	$(GO) run ./cmd/benchjson -compare BENCH_kernel.json /tmp/BENCH_kernel_fresh.json
 
 # CPU + heap pprof of the saturation workload (every allocation
 # attributed). Inspect with `go tool pprof -sample_index=alloc_objects
@@ -41,11 +50,11 @@ profile:
 # bit-identical at any worker count. ~30 min single-threaded, divided by
 # roughly the core count otherwise.
 figures:
-	$(GO) run ./cmd/figures -exp all -csv results/ | tee results_all.txt
+	$(GO) run ./cmd/figures -exp all -csv results/ | tee results/results_all.txt
 
 # The paper's full 10k+100k-cycle methodology (hours).
 figures-full:
-	$(GO) run ./cmd/figures -exp all -full -csv results/ | tee results_all.txt
+	$(GO) run ./cmd/figures -exp all -full -csv results/ | tee results/results_all.txt
 
 # The five-minute tour: watch a deadlock form and UPP recover it.
 demo:

@@ -6,6 +6,19 @@
 // With -alloc it instead measures the memory axis: allocations and
 // bytes per simulated cycle with packet pooling on and off, plus GC
 // counts over a fixed run, written as BENCH_alloc.json.
+//
+// With -parallel it measures all three kernels (naive/active/parallel)
+// and records num_cpu and GOMAXPROCS alongside, written as
+// BENCH_parallel.json — the CPU count matters because on a single-CPU
+// machine the parallel kernel can only pay handoff overhead, and a
+// reader must not mistake that for a regression.
+//
+// With -compare old.json new.json it diffs two BENCH_*.json files
+// produced by any of the modes above, prints per-measurement
+// ns_per_cycle deltas, and exits non-zero when any shared measurement
+// regressed beyond -tolerance (default 10%). Run via
+// `make bench-compare`; CI runs it warn-only because shared runners are
+// noisy.
 package main
 
 import (
@@ -83,6 +96,24 @@ type report struct {
 	// Speedup maps load label to naive/active ns-per-cycle ratio: >1 means
 	// the active-set kernel is faster.
 	Speedup map[string]float64 `json:"speedup_active_vs_naive"`
+}
+
+// parallelReport is the -parallel artifact: all three kernels at every
+// load, plus the CPU/GOMAXPROCS context without which the parallel
+// numbers cannot be interpreted (see the package comment).
+type parallelReport struct {
+	Date         string        `json:"date"`
+	GoVersion    string        `json:"go_version"`
+	GOOS         string        `json:"goos"`
+	GOARCH       string        `json:"goarch"`
+	NumCPU       int           `json:"num_cpu"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	Shards       int           `json:"shards"`
+	Measurements []measurement `json:"measurements"`
+	// Speedup maps load label to active/parallel ns-per-cycle ratio: >1
+	// means the parallel kernel is faster than active. Expect <1 when
+	// num_cpu is 1.
+	Speedup map[string]float64 `json:"speedup_parallel_vs_active"`
 }
 
 func measure(kernel string, rate float64) (measurement, error) {
@@ -185,6 +216,148 @@ func runAlloc(out string) {
 	}
 }
 
+func runParallel(out string) {
+	rep := parallelReport{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Speedup:    map[string]float64{},
+	}
+	// Record the shard count the kernel will actually resolve to, so the
+	// artifact is self-describing.
+	{
+		kb, err := experiments.NewKernelBench(network.KernelParallel, loads[0].Rate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Shards = kb.Network().Shards()
+	}
+	perLoad := map[string]map[string]float64{}
+	for _, l := range loads {
+		perLoad[l.Label] = map[string]float64{}
+		for _, kernel := range []string{network.KernelNaive, network.KernelActive, network.KernelParallel} {
+			fmt.Fprintf(os.Stderr, "benchjson: %s load (rate %.2f), %s kernel...\n", l.Label, l.Rate, kernel)
+			m, err := measure(kernel, l.Rate)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			m.Load = l.Label
+			rep.Measurements = append(rep.Measurements, m)
+			perLoad[l.Label][kernel] = m.NsPerCycle
+		}
+		rep.Speedup[l.Label] = perLoad[l.Label][network.KernelActive] / perLoad[l.Label][network.KernelParallel]
+	}
+	writeJSON(out, rep)
+	for _, l := range loads {
+		fmt.Fprintf(os.Stderr, "  %-10s active %8.0f ns/cycle, parallel %8.0f ns/cycle (%.2fx on %d CPUs, %d shards)\n",
+			l.Label, perLoad[l.Label][network.KernelActive], perLoad[l.Label][network.KernelParallel],
+			rep.Speedup[l.Label], rep.NumCPU, rep.Shards)
+	}
+}
+
+// compareMeasurement is the cross-mode subset of a measurement row used
+// by -compare: every BENCH_*.json variant carries load and ns_per_cycle;
+// kernel and pooling distinguish rows within a file when present.
+type compareMeasurement struct {
+	Load       string  `json:"load"`
+	Kernel     string  `json:"kernel"`
+	Pooling    *bool   `json:"pooling"`
+	NsPerCycle float64 `json:"ns_per_cycle"`
+}
+
+func (m compareMeasurement) key() string {
+	k := m.Load
+	if m.Kernel != "" {
+		k += "/" + m.Kernel
+	}
+	if m.Pooling != nil {
+		k += fmt.Sprintf("/pooling=%v", *m.Pooling)
+	}
+	return k
+}
+
+type compareFile struct {
+	Date         string               `json:"date"`
+	NumCPU       int                  `json:"num_cpu"`
+	Measurements []compareMeasurement `json:"measurements"`
+}
+
+func loadCompareFile(path string) (compareFile, error) {
+	var f compareFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Measurements) == 0 {
+		return f, fmt.Errorf("%s: no measurements (is this a BENCH_*.json file?)", path)
+	}
+	return f, nil
+}
+
+// runCompare diffs two benchmark artifacts and returns the process exit
+// code: 0 when no shared measurement's ns_per_cycle regressed beyond the
+// tolerance, 1 otherwise. Rows present in only one file are reported but
+// never fail the comparison — adding a kernel or load is not a
+// regression.
+func runCompare(oldPath, newPath string, tolerance float64) int {
+	oldF, err := loadCompareFile(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newF, err := loadCompareFile(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	if oldF.NumCPU != 0 && newF.NumCPU != 0 && oldF.NumCPU != newF.NumCPU {
+		fmt.Printf("note: num_cpu differs (%d -> %d); deltas may reflect hardware, not code\n",
+			oldF.NumCPU, newF.NumCPU)
+	}
+	oldRows := map[string]compareMeasurement{}
+	for _, m := range oldF.Measurements {
+		oldRows[m.key()] = m
+	}
+	fmt.Printf("%-34s %12s %12s %8s\n", "measurement", "old ns/cyc", "new ns/cyc", "delta")
+	regressions := 0
+	seen := map[string]bool{}
+	for _, m := range newF.Measurements {
+		k := m.key()
+		seen[k] = true
+		old, ok := oldRows[k]
+		if !ok {
+			fmt.Printf("%-34s %12s %12.0f %8s (new measurement)\n", k, "-", m.NsPerCycle, "-")
+			continue
+		}
+		delta := (m.NsPerCycle - old.NsPerCycle) / old.NsPerCycle
+		status := ""
+		if delta > tolerance {
+			status = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-34s %12.0f %12.0f %+7.1f%%%s\n", k, old.NsPerCycle, m.NsPerCycle, delta*100, status)
+	}
+	for _, m := range oldF.Measurements {
+		if !seen[m.key()] {
+			fmt.Printf("%-34s %12.0f %12s %8s (dropped measurement)\n", m.key(), m.NsPerCycle, "-", "-")
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d measurement(s) regressed beyond %.0f%% tolerance\n", regressions, tolerance*100)
+		return 1
+	}
+	fmt.Printf("\nno ns_per_cycle regression beyond %.0f%% tolerance\n", tolerance*100)
+	return 0
+}
+
 func writeJSON(path string, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -201,17 +374,34 @@ func writeJSON(path string, v any) {
 
 func main() {
 	alloc := flag.Bool("alloc", false, "measure allocations/GC (pooled vs unpooled) instead of kernel speed")
-	out := flag.String("out", "", "output JSON path (default BENCH_kernel.json, or BENCH_alloc.json with -alloc)")
+	parallel := flag.Bool("parallel", false, "measure all three kernels (naive/active/parallel) with CPU context")
+	compare := flag.Bool("compare", false, "diff two BENCH_*.json files: benchjson -compare old.json new.json")
+	tolerance := flag.Float64("tolerance", 0.10, "with -compare, ns_per_cycle regression fraction that fails the diff")
+	out := flag.String("out", "", "output JSON path (default BENCH_kernel.json, BENCH_alloc.json with -alloc, BENCH_parallel.json with -parallel)")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tolerance))
+	}
 	if *out == "" {
-		if *alloc {
+		switch {
+		case *alloc:
 			*out = "BENCH_alloc.json"
-		} else {
+		case *parallel:
+			*out = "BENCH_parallel.json"
+		default:
 			*out = "BENCH_kernel.json"
 		}
 	}
 	if *alloc {
 		runAlloc(*out)
+		return
+	}
+	if *parallel {
+		runParallel(*out)
 		return
 	}
 

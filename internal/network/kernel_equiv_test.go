@@ -50,11 +50,12 @@ func kernelRun(t *testing.T, kernel, scheme string, rate float64, cycles int, se
 	return buf.String(), n.Stats
 }
 
-// TestKernelTraceEquality: the active-set kernel must be a pure
-// optimization — the flit-level event trace and every statistic must be
-// bit-identical to the naive exhaustive walk, for every scheme. The UPP
-// run uses an overload rate so deadlocks form and the full popup protocol
-// (detection, signals, circuit drain) executes under both kernels.
+// TestKernelTraceEquality: the active-set and parallel kernels must be
+// pure optimizations — the flit-level event trace and every statistic
+// must be bit-identical to the naive exhaustive walk, for every scheme.
+// The UPP run uses an overload rate so deadlocks form and the full popup
+// protocol (detection, signals, circuit drain) executes under all
+// kernels.
 func TestKernelTraceEquality(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second simulation")
@@ -72,24 +73,26 @@ func TestKernelTraceEquality(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.scheme, func(t *testing.T) {
 			activeTrace, activeStats := kernelRun(t, network.KernelActive, tc.scheme, tc.rate, tc.cycles, 42)
-			naiveTrace, naiveStats := kernelRun(t, network.KernelNaive, tc.scheme, tc.rate, tc.cycles, 42)
-			if activeStats != naiveStats {
-				t.Errorf("stats diverge:\nactive: %+v\nnaive:  %+v", activeStats, naiveStats)
-			}
 			if tc.scheme == "upp" && activeStats.UpwardPackets == 0 {
 				t.Error("UPP case never detected an upward packet; raise the rate so the popup path is exercised")
 			}
-			if activeTrace != naiveTrace {
-				i := 0
-				for i < len(activeTrace) && i < len(naiveTrace) && activeTrace[i] == naiveTrace[i] {
-					i++
+			for _, kernel := range []string{network.KernelNaive, network.KernelParallel} {
+				trace, stats := kernelRun(t, kernel, tc.scheme, tc.rate, tc.cycles, 42)
+				if activeStats != stats {
+					t.Errorf("stats diverge:\nactive:   %+v\n%-8s: %+v", activeStats, kernel, stats)
 				}
-				lo := i - 200
-				if lo < 0 {
-					lo = 0
+				if activeTrace != trace {
+					i := 0
+					for i < len(activeTrace) && i < len(trace) && activeTrace[i] == trace[i] {
+						i++
+					}
+					lo := i - 200
+					if lo < 0 {
+						lo = 0
+					}
+					t.Fatalf("flit traces diverge at byte %d:\nactive:   ...%.300s\n%-8s: ...%.300s",
+						i, activeTrace[lo:], kernel, trace[lo:])
 				}
-				t.Fatalf("flit traces diverge at byte %d:\nactive: ...%.300s\nnaive:  ...%.300s",
-					i, activeTrace[lo:], naiveTrace[lo:])
 			}
 		})
 	}

@@ -7,6 +7,7 @@ package network
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"uppnoc/internal/message"
 	"uppnoc/internal/router"
@@ -24,6 +25,11 @@ const (
 	// as a debug escape hatch (UPP_KERNEL=naive). Both kernels produce
 	// bit-identical simulations.
 	KernelNaive = "naive"
+	// KernelParallel shards the active-set router walk across a bounded
+	// worker pool with a two-phase compute/commit cycle (see parallel.go
+	// and DESIGN.md §9). Bit-identical to the other kernels at any shard
+	// count and GOMAXPROCS.
+	KernelParallel = "parallel"
 )
 
 // Config parameterizes a network instance.
@@ -43,9 +49,16 @@ type Config struct {
 	// scheme). Mutually exclusive with UseUpDown.
 	Adaptive bool
 	// Kernel selects the cycle kernel: KernelActive (the default when
-	// empty) or KernelNaive. When empty, the UPP_KERNEL environment
-	// variable is consulted before falling back to the active-set kernel.
+	// empty), KernelNaive or KernelParallel. When empty, the UPP_KERNEL
+	// environment variable is consulted before falling back to the
+	// active-set kernel.
 	Kernel string
+	// Shards is the static NodeID-range shard count of the parallel
+	// kernel. 0 consults UPP_SHARDS and then defaults to GOMAXPROCS;
+	// the value is clamped to the node count. The simulation is
+	// bit-identical at every shard count — shards only trade sync
+	// overhead against compute overlap. Ignored by the other kernels.
+	Shards int
 	// DisablePool turns off packet recycling: AllocPacket falls back to
 	// plain heap allocation and nothing is released. The simulation is
 	// bit-identical either way (the golden equivalence tests prove it);
@@ -72,9 +85,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("network: UseUpDown and Adaptive are mutually exclusive")
 	}
 	switch c.Kernel {
-	case "", KernelActive, KernelNaive:
+	case "", KernelActive, KernelNaive, KernelParallel:
 	default:
-		return fmt.Errorf("network: unknown kernel %q (want %q or %q)", c.Kernel, KernelActive, KernelNaive)
+		return fmt.Errorf("network: unknown kernel %q (want %q, %q or %q)", c.Kernel, KernelActive, KernelNaive, KernelParallel)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("network: Shards must be >= 0")
 	}
 	// The event wheel must cover the longest schedulable delay: a flit's
 	// pipeline traversal plus its link flight. Surfacing the bound here
@@ -141,6 +157,15 @@ type Network struct {
 	awakeRouters int
 	awakeNIs     int
 
+	// Parallel-kernel state (KernelParallel, see parallel.go): static
+	// NodeID-range shards with reusable commit logs, the in-compute flag
+	// the recording sinks branch on, and engagement counters for tests.
+	shards        []shard
+	inCompute     bool
+	computeWG     sync.WaitGroup
+	computePhases uint64
+	inlinePhases  uint64
+
 	Stats   Stats
 	latHist LatencyHistogram
 
@@ -167,10 +192,10 @@ func New(t *topology.Topology, cfg Config, scheme Scheme) (*Network, error) {
 	switch n.kernel {
 	case "":
 		n.kernel = KernelActive
-	case KernelActive, KernelNaive:
+	case KernelActive, KernelNaive, KernelParallel:
 	default:
-		return nil, fmt.Errorf("network: unknown kernel %q (from UPP_KERNEL; want %q or %q)",
-			n.kernel, KernelActive, KernelNaive)
+		return nil, fmt.Errorf("network: unknown kernel %q (from UPP_KERNEL; want %q, %q or %q)",
+			n.kernel, KernelActive, KernelNaive, KernelParallel)
 	}
 	n.pooling = !cfg.DisablePool && os.Getenv("UPP_NOPOOL") == ""
 	n.routerAwake = make([]bool, t.NumNodes())
@@ -229,6 +254,11 @@ func New(t *topology.Topology, cfg Config, scheme Scheme) (*Network, error) {
 		r.SetLocal(ni)
 		n.Routers[i] = r
 		n.NIs[i] = ni
+	}
+	if n.kernel == KernelParallel {
+		if err := n.initParallel(cfg.Shards); err != nil {
+			return nil, err
+		}
 	}
 	scheme.Attach(n)
 	return n, nil
@@ -364,8 +394,8 @@ func (n *Network) NI(id topology.NodeID) *NI { return n.NIs[id] }
 // Router returns the router at node id.
 func (n *Network) Router(id topology.NodeID) *router.Router { return n.Routers[id] }
 
-// Kernel returns the resolved cycle-kernel name (KernelActive or
-// KernelNaive).
+// Kernel returns the resolved cycle-kernel name (KernelActive,
+// KernelNaive or KernelParallel).
 func (n *Network) Kernel() string { return n.kernel }
 
 // RouterActive reports whether the router at id is in the active set this
@@ -437,9 +467,12 @@ func (n *Network) deliverEvents(cycle sim.Cycle, wake bool) {
 
 // Step advances the system by one cycle.
 func (n *Network) Step() {
-	if n.kernel == KernelNaive {
+	switch n.kernel {
+	case KernelNaive:
 		n.stepNaive()
-	} else {
+	case KernelParallel:
+		n.stepParallel()
+	default:
 		n.stepActive()
 	}
 }

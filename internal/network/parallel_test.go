@@ -1,0 +1,82 @@
+package network_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"uppnoc/internal/core"
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+// parallelRun drives the fixed UPP overload workload under the parallel
+// kernel at the given shard count and returns the trace, the stats and
+// the network (for engagement telemetry).
+func parallelRun(t *testing.T, kernel string, shards, cycles int) (string, network.Stats, *network.Network) {
+	t.Helper()
+	topo := topology.MustBuild(topology.BaselineConfig())
+	cfg := network.DefaultConfig()
+	cfg.Kernel = kernel
+	cfg.Shards = shards
+	n, err := network.New(topo, cfg, core.New(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n.SetTracer(network.WriteTracer(&buf, 0))
+	g := traffic.NewGenerator(n, traffic.UniformRandom{}, 0.12, 42)
+	g.Run(cycles)
+	return buf.String(), n.Stats, n
+}
+
+// TestParallelShardDeterminism: the parallel kernel's output must not
+// depend on the shard count or on GOMAXPROCS — only the commit order
+// (ascending NodeID) determines the result. The workload is UPP past the
+// saturation knee so the popup protocol (detection, signals, circuit
+// drain, OnPacketEjected completions) runs inside every configuration.
+// Deliberately not skipped in -short mode: this is the core safety net
+// for the concurrent compute phase and CI runs it under -race.
+func TestParallelShardDeterminism(t *testing.T) {
+	const cycles = 4000
+	refTrace, refStats, _ := parallelRun(t, network.KernelActive, 0, cycles)
+	if refStats.UpwardPackets == 0 {
+		t.Fatal("reference run never detected an upward packet; raise the rate so the popup path is exercised")
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, shards := range []int{1, 2, 4, 7} {
+			trace, stats, n := parallelRun(t, network.KernelParallel, shards, cycles)
+			if n.Shards() != shards {
+				t.Fatalf("procs=%d: got %d shards, want %d", procs, n.Shards(), shards)
+			}
+			if compute, _ := n.ParallelPhases(); compute == 0 {
+				t.Errorf("procs=%d shards=%d: compute phase never engaged (all cycles fell back inline)", procs, shards)
+			}
+			if stats != refStats {
+				t.Errorf("procs=%d shards=%d: stats diverge from active kernel:\nactive:   %+v\nparallel: %+v",
+					procs, shards, refStats, stats)
+			}
+			if stats.UpwardPackets != refStats.UpwardPackets {
+				t.Errorf("procs=%d shards=%d: popup count %d, want %d",
+					procs, shards, stats.UpwardPackets, refStats.UpwardPackets)
+			}
+			if trace != refTrace {
+				i := 0
+				for i < len(refTrace) && i < len(trace) && refTrace[i] == trace[i] {
+					i++
+				}
+				lo := i - 200
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("procs=%d shards=%d: flit traces diverge at byte %d:\nactive:   ...%.300s\nparallel: ...%.300s",
+					procs, shards, i, refTrace[lo:], trace[lo:])
+			}
+		}
+	}
+}

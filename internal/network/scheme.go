@@ -15,6 +15,16 @@ import (
 // A scheme observes and manipulates the datapath through the routers'
 // plugin API and the hooks below; the base datapath itself is identical
 // across schemes, which is what makes the paper's comparisons meaningful.
+//
+// Concurrency contract (parallel kernel): every hook runs on the
+// coordinating goroutine, never during the concurrent compute phase —
+// StartOfCycle/EndOfCycle/OnRouterIdle bracket or follow the router
+// walk, OnFlitArrived fires at event delivery, CanStartPacket during
+// the sequential NI walk, and OnPacketEjected from the commit-phase
+// replay of deferred ejections. Hooks may therefore freely touch global
+// state, but a future scheme must not add router-initiated scheme calls
+// to Router.Step without routing them through the commit log (see
+// parallel.go and DESIGN.md §9).
 type Scheme interface {
 	// Name identifies the scheme in reports.
 	Name() string
