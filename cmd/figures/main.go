@@ -10,8 +10,8 @@
 //	figures -exp fig7 -jobs 8        # eight parallel simulation workers
 //
 // Experiments: table1 table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 load_balance tail_latency ablation (fig8/fig12/fig15 run
-// together as "fullsystem").
+// fig14 fig15 fault_sweep load_balance tail_latency ablation
+// (fig8/fig12/fig15 run together as "fullsystem").
 //
 // Simulation points fan out across a worker pool (-jobs, or UPP_JOBS,
 // defaulting to GOMAXPROCS); the output is bit-identical at any worker
@@ -93,6 +93,9 @@ func main() {
 	}
 	if all || want["fig13"] {
 		add(experiments.Fig13(dur, opts))
+	}
+	if all || want["fault_sweep"] {
+		add(experiments.FaultSweep(dur, opts))
 	}
 	if all || want["fig14"] {
 		tables = append(tables, experiments.Fig14())

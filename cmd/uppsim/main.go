@@ -6,6 +6,7 @@
 //	uppsim -scheme upp -rate 0.05 -pattern uniform_random
 //	uppsim -scheme composable -vcs 4 -pattern transpose -cycles 50000
 //	uppsim -scheme upp -faults 10 -rate 0.03
+//	uppsim -scheme upp -fault-plan "flaps=4,drop=0.2" -rate 0.05
 //	uppsim -scheme none -rate 0.10       # watch a deadlock wedge the network
 package main
 
@@ -29,6 +30,7 @@ func main() {
 		warmup     = flag.Int("warmup", 10000, "warmup cycles")
 		cycles     = flag.Int("cycles", 100000, "measured cycles")
 		faults     = flag.Int("faults", 0, "faulty links (forces up*/down* routing)")
+		faultPlan  = flag.String("fault-plan", os.Getenv("UPP_FAULTS"), "runtime fault-injection spec, e.g. \"flaps=4,drop=0.2\" (default $UPP_FAULTS; see EXPERIMENTS.md)")
 		large      = flag.Bool("large", false, "use the 128-core system (fig. 9)")
 		boundaries = flag.Int("boundaries", 4, "boundary routers per chiplet")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
@@ -59,6 +61,7 @@ func main() {
 		Dur:        experiments.Durations{Warmup: *warmup, Measure: *cycles},
 		Faults:     *faults,
 		FaultSeed:  *seed * 31,
+		FaultPlan:  *faultPlan,
 	}
 	spec.TraceLimit = *trace
 	spec.Adaptive = *adaptive

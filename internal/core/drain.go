@@ -96,6 +96,9 @@ func (u *UPP) forwardPopupFlit(p *popup, i int, r *router.Router, cycle sim.Cycl
 			return false
 		}
 	}
+	if r.PortDown(out) {
+		return false // mesh link transiently down: the drain waits out the flap
+	}
 	if r.OutputClaimed(out, cycle) {
 		return false
 	}

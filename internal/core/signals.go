@@ -4,9 +4,18 @@ import (
 	"fmt"
 
 	"uppnoc/internal/message"
+	"uppnoc/internal/network"
 	"uppnoc/internal/sim"
 	"uppnoc/internal/topology"
 )
+
+// netSignalKind maps a latch occupant to the fault-injection signal kind.
+func netSignalKind(k sigKind) network.SignalKind {
+	if k == sigStop {
+		return network.SignalStop
+	}
+	return network.SignalReq
+}
 
 // sendOriginSignals transmits pending UPP_req and UPP_stop signals from
 // interposer routers. Signals from one router are serialized with at least
@@ -14,7 +23,7 @@ import (
 func (u *UPP) sendOriginSignals(cycle sim.Cycle) {
 	for _, p := range u.sortedPopups() {
 		switch {
-		case !p.reqSent && !p.cancelled:
+		case (!p.reqSent || p.resendReq) && !p.cancelled:
 			u.trySendFromOrigin(p, sigReq, cycle)
 		case p.stopPending:
 			u.trySendFromOrigin(p, sigStop, cycle)
@@ -45,25 +54,40 @@ func (u *UPP) trySendFromOrigin(p *popup, kind sigKind, cycle sim.Cycle) {
 	ns.nextSignal = cycle + sim.Cycle(u.cfg.SignalGap)
 	if kind == sigReq {
 		p.reqSent = true
+		p.resendReq = false
 	} else {
 		p.stopPending = false
 	}
+	u.armDeadline(p, cycle)
+	// The signal has left the router; fault injection decides whether it
+	// survives the wire (the vertical up link never flaps, but signals
+	// can still be dropped or delayed).
+	fate := u.net.SignalFate(netSignalKind(kind), p.id, 1, cycle)
+	if fate.Drop {
+		return
+	}
+	id, hopIdx, node := p.id, 1, p.path[1].node
 	first.reqStop.reserved = true
-	id, hopIdx := p.id, 1
-	u.net.Schedule(cycle+1+u.linkLat(), func(arrival sim.Cycle) {
-		u.signalArrive(id, kind, hopIdx, arrival)
+	u.net.Schedule(cycle+1+u.linkLat()+fate.Delay, func(arrival sim.Cycle) {
+		u.signalArrive(id, kind, hopIdx, node, arrival)
 	})
 }
 
 // signalArrive is the buffer write of a req/stop at path[hopIdx]. Reqs
 // install the circuit entry (Fig. 6's chiplet-router table) as they pass.
-func (u *UPP) signalArrive(popupID uint64, kind sigKind, hopIdx int, arrival sim.Cycle) {
+// The landing node is captured at schedule time so a signal whose popup
+// was force-retired mid-flight can still release its latch reservation.
+func (u *UPP) signalArrive(popupID uint64, kind sigKind, hopIdx int, node topology.NodeID, arrival sim.Cycle) {
+	ns := &u.nodes[node]
 	p := u.popups[popupID]
 	if p == nil {
-		panic(fmt.Sprintf("upp: signal arrival for retired popup %d", popupID))
+		// The popup was force-retired (retry exhaustion) while this signal
+		// was in flight: release the reservation and discard.
+		ns.reqStop.reserved = false
+		u.net.Stats.LateSignals++
+		return
 	}
 	h := &p.path[hopIdx]
-	ns := &u.nodes[h.node]
 	ns.reqStop = reqStopLatch{
 		valid:   true,
 		kind:    kind,
@@ -74,10 +98,19 @@ func (u *UPP) signalArrive(popupID uint64, kind sigKind, hopIdx int, arrival sim
 	if kind == sigReq {
 		ce := &ns.circuit[p.vnet]
 		if ce.active {
-			panic(fmt.Sprintf("upp: circuit conflict at node %d vnet %s (popup %d vs %d)",
-				h.node, p.vnet, ce.popupID, popupID))
+			if ce.popupID != popupID {
+				// Two different live popups on one (node, VNet) would mean
+				// the per-(chiplet, VNet) token was double-granted — a true
+				// invariant, kept as a panic.
+				panic(fmt.Sprintf("upp: circuit conflict at node %d vnet %s (popup %d vs %d)",
+					node, p.vnet, ce.popupID, popupID))
+			}
+			// A retried req retracing entries its lost predecessor already
+			// installed: leave the live entry untouched (the drain may be
+			// using its vcIdx/released state).
+		} else {
+			*ce = circuitEntry{active: true, popupID: popupID, inPort: h.inPort, outPort: h.outPort, vcIdx: -1}
 		}
-		*ce = circuitEntry{active: true, popupID: popupID, inPort: h.inPort, outPort: h.outPort, vcIdx: -1}
 	}
 }
 
@@ -101,7 +134,11 @@ func (u *UPP) moveReqStop(node topology.NodeID, cycle sim.Cycle) {
 	}
 	p := u.popups[l.popupID]
 	if p == nil {
-		panic("upp: buffered signal for retired popup")
+		// Defensive recovery (abortPopup sweeps its path's latches, so
+		// this should be unreachable): discard instead of crashing.
+		l.valid = false
+		u.net.Stats.LateSignals++
+		return
 	}
 	h := &p.path[l.hopIdx]
 	if l.hopIdx == len(p.path)-1 {
@@ -114,6 +151,9 @@ func (u *UPP) moveReqStop(node topology.NodeID, cycle sim.Cycle) {
 	next := &u.nodes[p.path[l.hopIdx+1].node]
 	if next.reqStop.valid || next.reqStop.reserved {
 		return
+	}
+	if r.PortDown(h.outPort) {
+		return // mesh link transiently down: wait out the flap
 	}
 	if r.OutputClaimed(h.outPort, cycle) {
 		return // delayed one cycle by an upward flit (Sec. V-C1)
@@ -128,11 +168,16 @@ func (u *UPP) moveReqStop(node topology.NodeID, cycle sim.Cycle) {
 			*ce = circuitEntry{vcIdx: -1}
 		}
 	}
-	next.reqStop.reserved = true
 	id, kind, hopIdx := p.id, l.kind, l.hopIdx+1
 	l.valid = false
-	u.net.Schedule(cycle+1+u.linkLat(), func(arrival sim.Cycle) {
-		u.signalArrive(id, kind, hopIdx, arrival)
+	fate := u.net.SignalFate(netSignalKind(kind), id, hopIdx, cycle)
+	if fate.Drop {
+		return
+	}
+	next.reqStop.reserved = true
+	nextNode := p.path[hopIdx].node
+	u.net.Schedule(cycle+1+u.linkLat()+fate.Delay, func(arrival sim.Cycle) {
+		u.signalArrive(id, kind, hopIdx, nextNode, arrival)
 	})
 }
 
@@ -143,22 +188,50 @@ func (u *UPP) deliverReqStop(p *popup, kind sigKind, cycle sim.Cycle) {
 	ni := u.net.NI(p.dst)
 	ns := &u.nodes[p.dst]
 	if kind == sigStop {
-		ni.CancelReservation(p.vnet, p.id)
+		if p.resRequested {
+			// Only cancel when reservation state exists: with signal drops
+			// the req may never have arrived, and a blind cancel of nothing
+			// was one of the protocol's panics.
+			ni.CancelReservation(p.vnet, p.id)
+			p.resRequested = false
+		}
 		ce := &ns.circuit[p.vnet]
 		if ce.active && ce.popupID == p.id {
 			*ce = circuitEntry{vcIdx: -1}
 		}
 		p.stopDelivered = true
+		if p.ackLaunched && !p.ackDone {
+			// The discarded ack still has to come home; re-arm the watchdog
+			// so a lost ack cannot strand the cancelled popup forever.
+			p.retries = 0
+			u.armDeadline(p, cycle)
+		}
 		u.finishCancelled(p)
 		return
 	}
+	if p.resRequested {
+		// A retried req caught up with its delivered predecessor. The
+		// reservation machinery is already engaged; if the ack was already
+		// granted it may have been the thing that got lost — re-launch it
+		// (launchAck merges if one is still buffered at the destination).
+		u.net.Stats.LateSignals++
+		if p.ackLaunched {
+			u.launchAck(p, cycle)
+		}
+		return
+	}
+	p.resRequested = true
 	u.net.Trace("upp", p.dst, "popup %d: UPP_req at destination NI (vnet %s)", p.id, p.vnet)
-	id := p.id
+	id, vnet := p.id, p.vnet
 	ni.RequestReservation(p.vnet, p.id, cycle, func(grantCycle sim.Cycle) {
 		u.net.Stats.ReservationsGranted++
 		pp := u.popups[id]
 		if pp == nil {
-			panic("upp: reservation granted for retired popup")
+			// Granted for a force-retired popup (abortPopup removes its
+			// waiter, so this should be unreachable): recycle the entry.
+			ni.CancelReservation(vnet, id)
+			u.net.Stats.LateSignals++
+			return
 		}
 		pp.ackLaunched = true
 		u.launchAck(pp, grantCycle)
@@ -181,13 +254,21 @@ func (u *UPP) assertEncodable(p *popup, kind sigKind) {
 	}
 }
 
-// launchAck places the UPP_ack in the destination router's ack buffer.
-// Snapshot-addressed: the grant can fire for a popup cancelled after its
-// packet already ejected, consumed and recycled.
+// launchAck places the UPP_ack in the destination router's ack buffer,
+// merging with an ack of the same popup already buffered there (the paper
+// ORs concurrent acks' one-hot VNet fields into the same 32-bit buffer —
+// a retried req's duplicate ack merges the same way).
 func (u *UPP) launchAck(p *popup, cycle sim.Cycle) {
 	ns := &u.nodes[p.dst]
+	for i := range ns.acks {
+		if ns.acks[i].popupID == p.id {
+			return
+		}
+	}
 	if len(ns.acks)+ns.ackRes >= message.NumVNets {
-		panic("upp: ack buffer overflow (merging invariant violated)")
+		// Distinct popups are bounded by the per-(chiplet, VNet) token, so
+		// overflow means the token was double-granted — a true invariant.
+		panic(fmt.Sprintf("upp: ack buffer overflow at node %d (merging invariant violated)", p.dst))
 	}
 	ns.acks = append(ns.acks, ackEntry{popupID: p.id, hopIdx: len(p.path) - 1, ready: cycle + 1})
 }
@@ -207,16 +288,22 @@ func (u *UPP) moveAcks(node topology.NodeID, cycle sim.Cycle) {
 }
 
 // moveAck advances one ack a single reverse hop; it reports whether the
-// ack left this router.
+// ack left this router (or was discarded).
 func (u *UPP) moveAck(node topology.NodeID, a ackEntry, cycle sim.Cycle) bool {
 	p := u.popups[a.popupID]
 	if p == nil {
-		panic("upp: buffered ack for retired popup")
+		// Force-retired while buffered here (abortPopup sweeps its path,
+		// so this should be unreachable): discard instead of crashing.
+		u.net.Stats.LateSignals++
+		return true
 	}
 	h := &p.path[a.hopIdx]
 	r := u.net.Router(node)
 	// The ack leaves through the port its req arrived on — the recorded
 	// reverse path (Sec. V-B2).
+	if r.PortDown(h.inPort) {
+		return false // mesh link transiently down: wait out the flap
+	}
 	if r.OutputClaimed(h.inPort, cycle) {
 		return false
 	}
@@ -226,7 +313,11 @@ func (u *UPP) moveAck(node topology.NodeID, a ackEntry, cycle sim.Cycle) bool {
 		r.SendDirect(h.inPort)
 		u.net.Stats.SignalsSent++
 		id := a.popupID
-		u.net.Schedule(cycle+1+u.linkLat(), func(arrival sim.Cycle) {
+		fate := u.net.SignalFate(network.SignalAck, id, a.hopIdx, cycle)
+		if fate.Drop {
+			return true
+		}
+		u.net.Schedule(cycle+1+u.linkLat()+fate.Delay, func(arrival sim.Cycle) {
 			u.ackAtOrigin(id, arrival)
 		})
 		return true
@@ -238,15 +329,29 @@ func (u *UPP) moveAck(node topology.NodeID, a ackEntry, cycle sim.Cycle) bool {
 	r.ClaimOutput(h.inPort, cycle)
 	r.SendDirect(h.inPort)
 	u.net.Stats.SignalsSent++
-	prev.ackRes++
 	id, hopIdx := a.popupID, a.hopIdx-1
-	u.net.Schedule(cycle+1+u.linkLat(), func(arrival sim.Cycle) {
-		pp := u.popups[id]
-		if pp == nil {
-			panic("upp: ack arrival for retired popup")
-		}
-		pn := &u.nodes[pp.path[hopIdx].node]
+	fate := u.net.SignalFate(network.SignalAck, id, a.hopIdx, cycle)
+	if fate.Drop {
+		return true
+	}
+	prev.ackRes++
+	prevNode := p.path[hopIdx].node
+	u.net.Schedule(cycle+1+u.linkLat()+fate.Delay, func(arrival sim.Cycle) {
+		pn := &u.nodes[prevNode]
 		pn.ackRes--
+		if u.popups[id] == nil {
+			// Landed after its popup was force-retired: discard.
+			u.net.Stats.LateSignals++
+			return
+		}
+		for i := range pn.acks {
+			if pn.acks[i].popupID == id {
+				// A duplicate ack (retried req) caught up with the original
+				// at this node: merge (the OR of one-hot VNet fields).
+				u.net.Stats.LateSignals++
+				return
+			}
+		}
 		pn.acks = append(pn.acks, ackEntry{popupID: id, hopIdx: hopIdx, ready: arrival + 1})
 	})
 	return true
@@ -258,7 +363,15 @@ func (u *UPP) moveAck(node topology.NodeID, a ackEntry, cycle sim.Cycle) bool {
 func (u *UPP) ackAtOrigin(popupID uint64, cycle sim.Cycle) {
 	p := u.popups[popupID]
 	if p == nil {
-		panic("upp: origin ack for retired popup")
+		// The popup was force-retired while the ack was in flight.
+		u.net.Stats.LateSignals++
+		return
+	}
+	if p.stage == stageDrain {
+		// Duplicate ack from a retried req; the first one already started
+		// the drain.
+		u.net.Stats.LateSignals++
+		return
 	}
 	if p.cancelled {
 		p.ackDone = true
@@ -281,6 +394,7 @@ func (u *UPP) ackAtOrigin(popupID uint64, cycle sim.Cycle) {
 	lp := p.livePkt()
 	p.stage = stageDrain
 	p.drainStart = cycle
+	p.deadline = 0 // the drain makes its own progress; watchdog off
 	lp.Popup = true
 	lp.PopupID = p.id
 	vc.Hold = true

@@ -31,6 +31,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"uppnoc/internal/message"
 	"uppnoc/internal/network"
@@ -53,6 +54,20 @@ type Config struct {
 	// static closest-boundary binding). The ablation experiments swap in
 	// the alternatives of Sec. V-D's design discussion.
 	Policy routing.BoundaryPolicy
+	// SignalTimeout, when > 0, arms a per-popup watchdog on every
+	// outstanding protocol signal: a popup whose req (or a cancelled
+	// popup whose stop or discarded ack) has produced no progress for
+	// SignalTimeout cycles re-sends with exponential backoff, and after
+	// MaxSignalRetries attempts the popup is force-retired — its path
+	// swept clean, its reservation recycled — and the still-stalled
+	// packet falls back to normal timeout re-detection. 0 (the default)
+	// disables the machinery entirely: the healthy path is byte-identical
+	// to a build without it. Enable under runtime fault injection, where
+	// a dropped signal would otherwise wedge recovery forever.
+	SignalTimeout int
+	// MaxSignalRetries bounds re-sends per signal phase (default 3 when
+	// SignalTimeout > 0).
+	MaxSignalRetries int
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -118,6 +133,18 @@ type popup struct {
 	ackLaunched    bool
 	ackDone        bool
 	tailLeftOrigin bool
+
+	// Signal-retry state (Config.SignalTimeout > 0; all zero otherwise).
+	// deadline is the cycle at which the outstanding signal phase is
+	// declared lost (0 = unarmed); retries counts re-sends in the current
+	// phase; resendReq re-queues a req without clearing reqSent
+	// (checkProceeded's remote-cleanup decision keys on whether any req
+	// ever left); resRequested tracks whether the destination NI holds
+	// reservation state — waiter or granted entry — for this popup.
+	deadline     sim.Cycle
+	retries      uint8
+	resendReq    bool
+	resRequested bool
 }
 
 // holds reports whether q is exactly the incarnation of the popup's
@@ -231,6 +258,9 @@ func New(cfg Config) *UPP {
 	if cfg.SignalGap <= 0 {
 		cfg.SignalGap = message.DataPacketFlits + 1
 	}
+	if cfg.SignalTimeout > 0 && cfg.MaxSignalRetries <= 0 {
+		cfg.MaxSignalRetries = 3
+	}
 	return &UPP{cfg: cfg, popups: make(map[uint64]*popup)}
 }
 
@@ -290,10 +320,14 @@ func (u *UPP) StartOfCycle(cycle sim.Cycle) {
 }
 
 // EndOfCycle implements network.Scheme: timeout counters, upward-packet
-// selection and false-positive cancellation.
+// selection, false-positive cancellation and (when enabled) the
+// signal-retry watchdog.
 func (u *UPP) EndOfCycle(cycle sim.Cycle) {
 	u.detect(cycle)
 	u.checkProceeded(cycle)
+	if u.cfg.SignalTimeout > 0 {
+		u.checkSignalTimeouts(cycle)
+	}
 }
 
 // sortedPopups returns active popups in deterministic (id) order. The
@@ -541,7 +575,115 @@ func (u *UPP) checkProceeded(cycle sim.Cycle) {
 			continue
 		}
 		p.stopPending = true
+		if u.cfg.SignalTimeout > 0 {
+			p.retries = 0 // fresh retry budget for the stop phase
+		}
 	}
+}
+
+// armDeadline (re)arms the signal watchdog for p's current phase with
+// exponential backoff on the retry count. No-op with the watchdog off.
+func (u *UPP) armDeadline(p *popup, cycle sim.Cycle) {
+	if u.cfg.SignalTimeout <= 0 {
+		return
+	}
+	shift := p.retries
+	if shift > 6 {
+		shift = 6
+	}
+	p.deadline = cycle + sim.Cycle(u.cfg.SignalTimeout)<<shift
+}
+
+// checkSignalTimeouts is the per-popup signal watchdog (Config.
+// SignalTimeout > 0): re-send a lost req, re-arm a lost stop, and after
+// MaxSignalRetries force-retire the popup via abortPopup. Every decision
+// derives from origin-local knowledge only — the origin cannot tell a
+// lost signal from a slow one, so a retry may race its predecessor; the
+// receiver side (signalArrive, deliverReqStop, launchAck, ackAtOrigin)
+// deduplicates same-popup signals instead of panicking.
+func (u *UPP) checkSignalTimeouts(cycle sim.Cycle) {
+	if len(u.popups) == 0 {
+		return
+	}
+	maxR := uint8(u.cfg.MaxSignalRetries)
+	for _, p := range u.sortedPopups() {
+		if p.deadline == 0 || cycle < p.deadline || p.stage == stageDrain {
+			continue
+		}
+		switch {
+		case !p.cancelled:
+			// The req — or the ack it should produce — went missing.
+			if p.retries >= maxR {
+				u.abortPopup(p)
+				continue
+			}
+			p.retries++
+			p.resendReq = true
+			u.armDeadline(p, cycle)
+			u.net.Stats.SignalRetries++
+			u.net.Trace("upp", p.origin, "popup %d: signal timeout; re-sending UPP_req (retry %d)", p.id, p.retries)
+		case !p.stopDelivered:
+			// Cancelled, and the stop went missing on its way down.
+			if p.retries >= maxR {
+				u.abortPopup(p)
+				continue
+			}
+			p.retries++
+			p.stopPending = true
+			u.armDeadline(p, cycle)
+			u.net.Stats.SignalRetries++
+			u.net.Trace("upp", p.origin, "popup %d: signal timeout; re-arming UPP_stop (retry %d)", p.id, p.retries)
+		case p.ackLaunched && !p.ackDone:
+			// Stop delivered but the to-be-discarded ack never came home:
+			// it was lost on the wire; nothing is left to wait for.
+			u.abortPopup(p)
+		default:
+			p.deadline = 0
+		}
+	}
+}
+
+// abortPopup force-retires a popup whose signal retries are exhausted:
+// sweep every latch, buffered ack and circuit entry it owns along its
+// path, recycle any reservation state at the destination NI, release the
+// origin entry and the token, and delete it. Signals of it still in
+// flight find the popup gone on arrival and are discarded (counted as
+// Stats.LateSignals). The packet itself is untouched — still stalled, it
+// re-trips detection after Threshold cycles, so recovery degrades to a
+// bounded retry loop instead of a wedge or a panic. Only reachable in
+// stageReq (the drain never arms a deadline), so no VC holds or popup
+// flit latches exist yet.
+func (u *UPP) abortPopup(p *popup) {
+	for i := 1; i < len(p.path); i++ {
+		h := &p.path[i]
+		ns := &u.nodes[h.node]
+		if ns.reqStop.valid && ns.reqStop.popupID == p.id {
+			ns.reqStop.valid = false
+		}
+		for j := 0; j < len(ns.acks); {
+			if ns.acks[j].popupID == p.id {
+				last := len(ns.acks) - 1
+				copy(ns.acks[j:], ns.acks[j+1:])
+				ns.acks[last] = ackEntry{}
+				ns.acks = ns.acks[:last]
+			} else {
+				j++
+			}
+		}
+		ce := &ns.circuit[p.vnet]
+		if ce.active && ce.popupID == p.id {
+			*ce = circuitEntry{vcIdx: -1}
+		}
+	}
+	if p.resRequested {
+		u.net.NI(p.dst).CancelReservation(p.vnet, p.id)
+		p.resRequested = false
+	}
+	p.cancelled = true
+	u.releaseOrigin(p)
+	delete(u.popups, p.id)
+	u.net.Stats.PopupsAborted++
+	u.net.Trace("upp", p.origin, "popup %d: retries exhausted; aborted (pkt%d falls back to re-detection)", p.id, p.pktID)
 }
 
 // finishCancelled releases everything held by a cancelled popup once no
@@ -587,6 +729,34 @@ func (u *UPP) OnRouterIdle(node topology.NodeID, _ sim.Cycle) {
 			ns.counters[v] = 0
 		}
 	}
+}
+
+// Diagnostic implements network.Scheme: the deadlock watchdog's view of
+// live popup FSMs and held tokens (embedded in Network.Drain's
+// StallDiagnostic).
+func (u *UPP) Diagnostic() string {
+	if len(u.popups) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, p := range u.sortedPopups() {
+		stage := "req"
+		if p.stage == stageDrain {
+			stage = "drain"
+		}
+		fmt.Fprintf(&b, "popup %d: pkt%d %s origin=%d dst=%d stage=%s reqSent=%v cancelled=%v stopPending=%v stopDelivered=%v ackLaunched=%v ackDone=%v retries=%d deadline=%d\n",
+			p.id, p.pktID, p.vnet, p.origin, p.dst, stage,
+			p.reqSent, p.cancelled, p.stopPending, p.stopDelivered, p.ackLaunched, p.ackDone,
+			p.retries, p.deadline)
+	}
+	for ci := range u.tokens {
+		for v := range u.tokens[ci] {
+			if id := u.tokens[ci][v]; id != 0 {
+				fmt.Fprintf(&b, "token chiplet=%d vnet=%s held by popup %d\n", ci, message.VNet(v), id)
+			}
+		}
+	}
+	return b.String()
 }
 
 // OnPacketEjected implements network.Scheme: a fully ejected popup packet

@@ -56,6 +56,19 @@ func UPPWithThreshold(threshold int) network.Scheme {
 	return core.New(cfg)
 }
 
+// HardenedUPP builds a UPP instance with the signal-retry machinery armed
+// (Sec. "robustness" of DESIGN.md §10): lost or delayed protocol signals
+// time out and are re-sent a bounded number of times before the popup is
+// force-retired and normal re-detection takes over. Fault-free behavior
+// is unchanged, but the chaos runs use this so injected signal loss is a
+// counted recovery, not a hang.
+func HardenedUPP() network.Scheme {
+	cfg := core.DefaultConfig()
+	cfg.SignalTimeout = 256
+	cfg.MaxSignalRetries = 3
+	return core.New(cfg)
+}
+
 // Durations controls warmup and measurement lengths. The paper uses 10k
 // warmup + 100k measurement cycles; benchmarks scale these down.
 type Durations struct {

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+)
+
+// FaultSweep is the fig11-style robustness runner over per-layer faults:
+// UPP saturation throughput with 0/2/4 faulty mesh links in every layer
+// (interposer and each chiplet), up*/down* local routing, per VC count.
+// Unlike Fig11's global fault budget — which random placement can
+// concentrate in one mesh — the per-layer injection puts uniform pressure
+// on every layer, the worst case for UPP's up-port timeout detection
+// (longer detours raise residence times near the threshold).
+func FaultSweep(dur Durations, opts PoolOptions) ([]Table, error) {
+	curves := Table{
+		ID:     "fault_sweep",
+		Title:  "UPP with per-layer faulty links (latency vs injection rate)",
+		Header: []string{"faults_per_layer", "vcs", "rate", "latency", "throughput", "popups", "saturated"},
+		Notes: []string{
+			"faults are injected per layer (InjectFaultsPerLayer): every chiplet mesh and the interposer mesh lose the same number of links",
+			"expected: graceful saturation-throughput degradation, mirroring fig11's global-fault trend",
+		},
+	}
+	summary := Table{
+		ID:     "fault_sweep_summary",
+		Title:  "UPP per-layer-fault saturation summary",
+		Header: []string{"faults_per_layer", "vcs", "sat_throughput", "low_load_latency", "popups_at_sat"},
+	}
+	for _, vcs := range []int{1, 4} {
+		for _, perLayer := range []int{0, 2, 4} {
+			opts.Progress.log("fault_sweep: faults_per_layer=%d vcs=%d", perLayer, vcs)
+			spec := RunSpec{
+				Topo:           topology.BaselineConfig(),
+				Scheme:         SchemeUPP,
+				VCsPerVNet:     vcs,
+				Pattern:        traffic.UniformRandom{},
+				Seed:           31,
+				Dur:            dur,
+				FaultsPerLayer: perLayer,
+				FaultSeed:      4321,
+				UseUpDown:      true,
+			}
+			c, err := SweepRatesWith(spec, DefaultRates(), fmt.Sprintf("faults_per_layer=%d", perLayer), opts)
+			if err != nil {
+				return nil, err
+			}
+			var popupsAtSat uint64
+			for _, pt := range c.Points {
+				curves.AddRowf(perLayer, vcs, pt.Rate, pt.TotalLat, pt.Throughput, pt.Popups, pt.Saturated)
+				if !pt.Saturated {
+					popupsAtSat = pt.Popups
+				}
+			}
+			summary.AddRowf(perLayer, vcs, c.SaturationThroughput, c.ZeroLoadLatency, popupsAtSat)
+		}
+	}
+	return []Table{curves, summary}, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"uppnoc/internal/message"
 
+	"uppnoc/internal/faults"
 	"uppnoc/internal/network"
 	"uppnoc/internal/topology"
 	"uppnoc/internal/traffic"
@@ -16,6 +17,15 @@ type RunSpec struct {
 	Topo      topology.SystemConfig
 	Faults    int
 	FaultSeed uint64
+	// FaultsPerLayer faults that many mesh links in every layer
+	// (InjectFaultsPerLayer) instead of Faults' global count — the
+	// fault-sweep robustness figure.
+	FaultsPerLayer int
+	// FaultPlan, when non-empty, attaches a runtime fault-injection plan
+	// (faults.ParseSpec syntax: "flaps=4,drop=0.2,..."). UPP runs it with
+	// the hardened config (signal timeout + retry) so injected signal loss
+	// is recovered rather than fatal.
+	FaultPlan string
 	Scheme    SchemeName
 	// SchemeOverride, when non-nil, is used instead of Scheme (threshold
 	// sweeps).
@@ -69,11 +79,19 @@ func Run(spec RunSpec) (Point, error) {
 			return Point{}, err
 		}
 	}
+	if spec.FaultsPerLayer > 0 {
+		if _, err := topo.InjectFaultsPerLayer(spec.FaultsPerLayer, spec.FaultSeed); err != nil {
+			return Point{}, err
+		}
+	}
 	var scheme network.Scheme
 	switch {
 	case spec.SchemeOverride != nil:
 		scheme, err = spec.SchemeOverride(topo)
-	case spec.Faults == 0:
+	case spec.FaultPlan != "" && spec.Scheme == SchemeUPP:
+		// Runtime signal faults need the retry machinery.
+		scheme = HardenedUPP()
+	case spec.Faults == 0 && spec.FaultsPerLayer == 0:
 		// Cacheable: composable's design-time search is reused across
 		// runs of the same configuration.
 		scheme, err = cachedScheme(spec.Topo, spec.Scheme)(topo)
@@ -97,11 +115,20 @@ func Run(spec RunSpec) (Point, error) {
 		}
 	}
 	cfg.Seed = spec.Seed + 1
-	cfg.UseUpDown = spec.UseUpDown || spec.Faults > 0
+	cfg.UseUpDown = spec.UseUpDown || spec.Faults > 0 || spec.FaultsPerLayer > 0
 	cfg.Adaptive = spec.Adaptive
 	n, err := network.New(topo, cfg, scheme)
 	if err != nil {
 		return Point{}, err
+	}
+	if spec.FaultPlan != "" {
+		plan, perr := faults.ParseSpec(topo, spec.FaultPlan)
+		if perr != nil {
+			return Point{}, perr
+		}
+		if _, perr := faults.Attach(n, plan); perr != nil {
+			return Point{}, perr
+		}
 	}
 	if spec.TraceLimit > 0 {
 		n.SetTracer(network.WriteTracer(os.Stderr, spec.TraceLimit))

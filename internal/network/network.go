@@ -171,6 +171,10 @@ type Network struct {
 
 	// lastEject supports deadlock detection in tests and the drain loop.
 	lastEject sim.Cycle
+
+	// faults is the optional runtime fault injector (nil in healthy runs;
+	// see faultinject.go and internal/faults).
+	faults FaultInjector
 }
 
 // New builds a network over t with the given scheme. The scheme's boundary
@@ -268,7 +272,8 @@ func New(t *topology.Topology, cfg Config, scheme Scheme) (*Network, error) {
 func MustNew(t *topology.Topology, cfg Config, scheme Scheme) *Network {
 	n, err := New(t, cfg, scheme)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("network: MustNew(%d-node topology, scheme %q, kernel %q): %v",
+			t.NumNodes(), scheme.Name(), cfg.Kernel, err))
 	}
 	return n
 }
@@ -484,6 +489,7 @@ func (n *Network) Step() {
 // compare against.
 func (n *Network) stepNaive() {
 	cycle := n.cycle
+	n.beginCycleFaults(cycle)
 	n.deliverEvents(cycle, false)
 	n.scheme.StartOfCycle(cycle)
 	for _, r := range n.Routers {
@@ -509,6 +515,7 @@ func (n *Network) stepNaive() {
 // cycle.
 func (n *Network) stepActive() {
 	cycle := n.cycle
+	n.beginCycleFaults(cycle)
 	n.deliverEvents(cycle, true)
 	n.scheme.StartOfCycle(cycle)
 	if n.awakeRouters > 0 {
@@ -589,7 +596,9 @@ func (n *Network) Drain(maxCycles int, stallLimit sim.Cycle) error {
 			return nil
 		}
 		if n.cycle-n.lastEject > stallLimit {
-			return fmt.Errorf("network: no ejection for %d cycles with %d packets in flight (deadlock?)", stallLimit, n.InFlight())
+			// The watchdog: a structured diagnostic (diag.go) whose first
+			// line keeps the historical message.
+			return n.stallDiagnostic(stallLimit)
 		}
 		n.Step()
 	}

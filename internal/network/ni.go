@@ -148,6 +148,18 @@ func (ni *NI) step(cycle sim.Cycle) {
 }
 
 func (ni *NI) consumeStep(cycle sim.Cycle) {
+	if len(ni.complete) == 0 {
+		return
+	}
+	if ni.net.ejectionStalled(ni.Node, cycle) {
+		// Injected PE stall: completed messages wait, holding their
+		// ejection entries — the same backpressure a slow Consumer exerts,
+		// so no protocol invariant is disturbed. Counted only when there
+		// was something to consume, which is exactly when the NI is awake
+		// under every kernel — keeping Stats kernel-identical.
+		ni.net.Stats.EjectionStalls++
+		return
+	}
 	kept := ni.complete[:0]
 	for _, c := range ni.complete {
 		if c.ready > cycle || !ni.Consume(c.pkt, cycle) {

@@ -195,6 +195,7 @@ func (n *Network) ParallelPhases() (compute, inline uint64) {
 // is code-identical to stepActive.
 func (n *Network) stepParallel() {
 	cycle := n.cycle
+	n.beginCycleFaults(cycle)
 	n.deliverEvents(cycle, true)
 	n.scheme.StartOfCycle(cycle)
 	if n.awakeRouters >= parallelMinAwake {

@@ -56,6 +56,10 @@ type Scheme interface {
 	// will not be observed again until a flit arrival wakes it. The naive
 	// kernel never calls this hook.
 	OnRouterIdle(node topology.NodeID, cycle sim.Cycle)
+	// Diagnostic returns a human-readable snapshot of the scheme's live
+	// protocol state (popup FSMs, tokens, control-plane buffers) for the
+	// deadlock watchdog's stall report. Empty means nothing to report.
+	Diagnostic() string
 }
 
 // BaseScheme is a no-op Scheme for embedding; concrete schemes override
@@ -87,6 +91,9 @@ func (BaseScheme) OnPacketEjected(*NI, *message.Packet, sim.Cycle) {}
 
 // OnRouterIdle is a no-op.
 func (BaseScheme) OnRouterIdle(topology.NodeID, sim.Cycle) {}
+
+// Diagnostic reports nothing.
+func (BaseScheme) Diagnostic() string { return "" }
 
 // None is the recovery-free fully-adaptive configuration: static-binding
 // routing with no deadlock handling at all. Integration-induced deadlocks

@@ -37,6 +37,16 @@ type Stats struct {
 	// InjectionHolds counts cycles packets spent gated by injection
 	// control (remote control).
 	InjectionHolds uint64
+
+	// Robustness counters (runtime fault injection and UPP signal retry;
+	// all stay zero in fault-free runs).
+	SignalRetries  uint64 // req/stop re-sends after a signal timeout
+	PopupsAborted  uint64 // popups force-retired (retry exhaustion or a lost post-stop ack)
+	SignalsDropped uint64 // protocol-signal transmissions lost to fault injection
+	SignalsDelayed uint64 // protocol-signal transmissions delayed by fault injection
+	LateSignals    uint64 // arrivals for already-retired popups, discarded
+	LinkFlaps      uint64 // transient link-outage windows applied
+	EjectionStalls uint64 // NI consume passes suppressed by an injected PE stall
 }
 
 // ResetMeasurement starts a fresh measurement window at the given cycle.

@@ -104,6 +104,11 @@ type Router struct {
 	// routers are skipped by the simulation loop.
 	buffered int
 
+	// downOut is a bitmask of output ports whose link is transiently down
+	// (runtime fault injection). Switch allocation skips them; the mask is
+	// zero in fault-free runs, so the hot-path check never fires.
+	downOut uint32
+
 	Stats Stats
 }
 
@@ -228,6 +233,24 @@ func (r *Router) OutputClaimed(p topology.PortID, cycle sim.Cycle) bool {
 	return r.outClaimedAt[p] > cycle
 }
 
+// SetPortDown marks output port p as crossing a transiently-down link
+// (runtime fault injection). While set, switch allocation never grants
+// the port; plugin senders (UPP signals and popup flits) must check
+// PortDown before SendDirect. The network toggles it from a fault plan's
+// link-flap schedule on both endpoints of the link.
+func (r *Router) SetPortDown(p topology.PortID, down bool) {
+	if down {
+		r.downOut |= 1 << uint(p)
+	} else {
+		r.downOut &^= 1 << uint(p)
+	}
+}
+
+// PortDown reports whether output port p crosses a transiently-down link.
+func (r *Router) PortDown(p topology.PortID) bool {
+	return r.downOut&(1<<uint(p)) != 0
+}
+
 // Neighbor returns the (node, port) on the far side of output port p.
 func (r *Router) Neighbor(p topology.PortID) (topology.NodeID, topology.PortID) {
 	pt := &r.Node.Ports[p]
@@ -340,13 +363,15 @@ func (r *Router) pickInputVC(pi topology.PortID, cycle sim.Cycle) int {
 		if f.IsHead() && !vc.routed {
 			op, err := r.route(r.ID, pi, f.Pkt)
 			if err != nil {
-				panic(fmt.Sprintf("router %d: route computation failed: %v", r.ID, err))
+				panic(fmt.Sprintf("router %d (x=%d y=%d chiplet %d) cycle %d: route computation failed for pkt %d (%s %d->%d) at input port %d: %v",
+					r.ID, r.Node.X, r.Node.Y, r.Node.Chiplet, cycle, f.Pkt.ID, f.Pkt.VNet, f.Pkt.Src, f.Pkt.Dst, pi, err))
 			}
 			vc.OutPort = op
 			vc.State = VCWaiting
 			vc.routed = true
 		}
-		if vc.OutPort == topology.InvalidPort || r.outClaimedAt[vc.OutPort] > cycle {
+		if vc.OutPort == topology.InvalidPort || r.outClaimedAt[vc.OutPort] > cycle ||
+			r.downOut&(1<<uint(vc.OutPort)) != 0 {
 			continue
 		}
 		switch vc.State {

@@ -44,6 +44,56 @@ func (t *Topology) InjectFaults(n int, seed uint64) ([]*Link, error) {
 	return faulted, nil
 }
 
+// InjectFaultsPerLayer marks n mesh links faulty in every layer — the
+// interposer and each chiplet — never disconnecting a layer and never
+// touching vertical links (same rules as InjectFaults, applied per layer
+// instead of globally; the fault-sweep robustness figure uses it to put
+// uniform pressure on every mesh). Deterministic in seed. It returns all
+// faulted links; on error no link is left faulty.
+func (t *Topology) InjectFaultsPerLayer(n int, seed uint64) ([]*Link, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	rng := sim.NewRNG(seed)
+	layers := make([]int, 0, len(t.Chiplets)+1)
+	layers = append(layers, InterposerChiplet)
+	for c := range t.Chiplets {
+		layers = append(layers, c)
+	}
+	var all []*Link
+	for _, layer := range layers {
+		candidates := make([]*Link, 0, len(t.Links))
+		for _, l := range t.Links {
+			if !l.Vertical && !l.Faulty && t.Node(l.A).Chiplet == layer {
+				candidates = append(candidates, l)
+			}
+		}
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		faulted := 0
+		for _, l := range candidates {
+			if faulted == n {
+				break
+			}
+			l.Faulty = true
+			if t.LayerConnected(layer) {
+				all = append(all, l)
+				faulted++
+			} else {
+				l.Faulty = false
+			}
+		}
+		if faulted < n {
+			for _, l := range all {
+				l.Faulty = false
+			}
+			return nil, fmt.Errorf("topology: could only fault %d of %d links in layer %d without disconnecting it", faulted, n, layer)
+		}
+	}
+	return all, nil
+}
+
 // ClearFaults restores every link to healthy.
 func (t *Topology) ClearFaults() {
 	for _, l := range t.Links {

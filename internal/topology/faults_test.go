@@ -1,0 +1,171 @@
+package topology
+
+import "testing"
+
+// smallTopo builds the smallest interesting system: every layer a 2x2
+// mesh, so each layer has exactly 4 mesh links and disconnection is easy
+// to force.
+func smallTopo(t *testing.T) *Topology {
+	t.Helper()
+	topo, err := Build(SystemConfig{
+		ChipletW: 2, ChipletH: 2, ChipletsX: 2, ChipletsY: 2,
+		InterposerW: 2, InterposerH: 2,
+		BoundaryPerChiplet: 1, LinkLatency: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+// layerMeshLinks returns the mesh links whose endpoints are in layer.
+func layerMeshLinks(topo *Topology, layer int) []*Link {
+	var out []*Link
+	for _, l := range topo.Links {
+		if !l.Vertical && topo.Node(l.A).Chiplet == layer {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestLayerConnectedDetectsDisconnection: in a 2x2 mesh, faulting both
+// links of one corner isolates it.
+func TestLayerConnectedDetectsDisconnection(t *testing.T) {
+	topo := smallTopo(t)
+	if !LayerConnectedAllLayers(topo) {
+		t.Fatal("fresh topology should be fully connected")
+	}
+	corner := topo.Chiplets[0].Routers[0]
+	var cut []*Link
+	for _, l := range layerMeshLinks(topo, 0) {
+		if l.A == corner || l.B == corner {
+			l.Faulty = true
+			cut = append(cut, l)
+		}
+	}
+	if len(cut) != 2 {
+		t.Fatalf("corner of a 2x2 mesh should have 2 mesh links, got %d", len(cut))
+	}
+	if topo.LayerConnected(0) {
+		t.Fatal("LayerConnected should report the isolated corner")
+	}
+	// Restoring one of the two reconnects.
+	cut[0].Faulty = false
+	if !topo.LayerConnected(0) {
+		t.Fatal("layer should reconnect after restoring one link")
+	}
+}
+
+// LayerConnectedAllLayers checks every layer (helper for the tests).
+func LayerConnectedAllLayers(topo *Topology) bool {
+	if !topo.LayerConnected(InterposerChiplet) {
+		return false
+	}
+	for c := range topo.Chiplets {
+		if !topo.LayerConnected(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestInjectFaultsFailureRestoresAll: asking for more faults than any
+// layer can absorb must fail AND leave every link healthy — a partial
+// fault set would silently skew a sweep's results.
+func TestInjectFaultsFailureRestoresAll(t *testing.T) {
+	topo := smallTopo(t)
+	total := len(topo.Links)
+	if _, err := topo.InjectFaults(total+1, 5); err == nil {
+		t.Fatal("InjectFaults should fail when asked for more links than exist")
+	}
+	if got := topo.NumFaulty(); got != 0 {
+		t.Fatalf("failed injection left %d faulty links; want 0", got)
+	}
+	if !LayerConnectedAllLayers(topo) {
+		t.Fatal("failed injection left a layer disconnected")
+	}
+	// The topology must still be usable for a successful injection.
+	faulted, err := topo.InjectFaults(1, 5)
+	if err != nil || len(faulted) != 1 {
+		t.Fatalf("InjectFaults(1) after failed attempt: %v (faulted %d)", err, len(faulted))
+	}
+	topo.ClearFaults()
+	if topo.NumFaulty() != 0 {
+		t.Fatal("ClearFaults left faulty links")
+	}
+}
+
+// TestInjectFaultsPerLayerFailureRestoresAll: the per-layer variant's
+// all-or-nothing guarantee spans layers — a failure in layer k must also
+// restore the links already faulted in layers 0..k-1.
+func TestInjectFaultsPerLayerFailureRestoresAll(t *testing.T) {
+	topo := smallTopo(t)
+	// A 2x2 mesh has 4 links and tolerates exactly 1 fault (the cycle
+	// breaks into a path); 2 would disconnect it, so per-layer n=2 fails
+	// after layer 0 (the interposer) may already have links marked.
+	if _, err := topo.InjectFaultsPerLayer(2, 7); err == nil {
+		t.Fatal("InjectFaultsPerLayer(2) should fail on 2x2 layers")
+	}
+	if got := topo.NumFaulty(); got != 0 {
+		t.Fatalf("failed per-layer injection left %d faulty links; want 0", got)
+	}
+	if !LayerConnectedAllLayers(topo) {
+		t.Fatal("failed per-layer injection left a layer disconnected")
+	}
+}
+
+// TestInjectFaultsPerLayerCountsAndDeterminism: success faults exactly n
+// mesh links in every layer, keeps layers connected, and is reproducible
+// in seed.
+func TestInjectFaultsPerLayerCountsAndDeterminism(t *testing.T) {
+	topo := smallTopo(t)
+	faulted, err := topo.InjectFaultsPerLayer(1, 11)
+	if err != nil {
+		t.Fatalf("InjectFaultsPerLayer: %v", err)
+	}
+	layers := 1 + len(topo.Chiplets)
+	if len(faulted) != layers {
+		t.Fatalf("faulted %d links; want %d (one per layer)", len(faulted), layers)
+	}
+	perLayer := map[int]int{}
+	for _, l := range faulted {
+		if l.Vertical {
+			t.Fatalf("faulted a vertical link %d", l.ID)
+		}
+		perLayer[topo.Node(l.A).Chiplet]++
+	}
+	for layer, n := range perLayer {
+		if n != 1 {
+			t.Fatalf("layer %d has %d faults; want 1", layer, n)
+		}
+	}
+	if !LayerConnectedAllLayers(topo) {
+		t.Fatal("per-layer injection disconnected a layer")
+	}
+	// Same seed on a fresh topology picks the same links.
+	topo2 := smallTopo(t)
+	faulted2, err := topo2.InjectFaultsPerLayer(1, 11)
+	if err != nil {
+		t.Fatalf("InjectFaultsPerLayer (repeat): %v", err)
+	}
+	for i := range faulted {
+		if faulted[i].ID != faulted2[i].ID {
+			t.Fatalf("seed 11 not reproducible: link %d vs %d at position %d", faulted[i].ID, faulted2[i].ID, i)
+		}
+	}
+	// A different seed picks a different set (overwhelmingly likely with
+	// 4 candidates per layer and 5 layers).
+	topo3 := smallTopo(t)
+	faulted3, _ := topo3.InjectFaultsPerLayer(1, 12)
+	same := true
+	for i := range faulted {
+		if faulted[i].ID != faulted3[i].ID {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 11 and 12 picked identical fault sets")
+	}
+}

@@ -173,7 +173,8 @@ func Build(c SystemConfig) (*Topology, error) {
 func MustBuild(c SystemConfig) *Topology {
 	t, err := Build(c)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("topology: MustBuild(%dx%d interposer, %dx%d chiplets of %dx%d): %v",
+			c.InterposerW, c.InterposerH, c.ChipletsX, c.ChipletsY, c.ChipletW, c.ChipletH, err))
 	}
 	return t
 }

@@ -124,6 +124,11 @@ type Link struct {
 	Latency  int
 	Vertical bool
 	Faulty   bool
+	// Down marks a transient outage (fault injection): the link exists in
+	// every routing table — unlike Faulty, which is a construction-time
+	// property routing works around — but no flit crosses it while Down.
+	// Traffic backs up behind it and resumes when the flap ends.
+	Down bool
 }
 
 // Other returns the endpoint of l that is not n.
