@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json bench-compare profile figures figures-full demo fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-compare cover-json cover-compare collectives-golden profile figures figures-full demo fmt vet clean
 
 all: build test
 
@@ -38,6 +38,29 @@ bench-json:
 bench-compare:
 	$(GO) run ./cmd/benchjson -out /tmp/BENCH_kernel_fresh.json
 	$(GO) run ./cmd/benchjson -compare BENCH_kernel.json /tmp/BENCH_kernel_fresh.json
+
+# Record per-package statement coverage as a diffable artifact
+# (COVER_baseline.json), the coverage analogue of bench-json.
+cover-json:
+	$(GO) test -cover ./... | tee /tmp/cover_out.txt
+	$(GO) run ./cmd/coverjson -extract -out COVER_baseline.json /tmp/cover_out.txt
+
+# Re-measure coverage and diff against the committed baseline; fails when
+# any package lost more than 1 coverage point (tune with
+# `go run ./cmd/coverjson -compare -tolerance 2 old new`). CI runs this
+# warn-only.
+cover-compare:
+	$(GO) test -cover ./... > /tmp/cover_fresh.txt
+	$(GO) run ./cmd/coverjson -extract -out /tmp/COVER_fresh.json /tmp/cover_fresh.txt
+	$(GO) run ./cmd/coverjson -compare COVER_baseline.json /tmp/COVER_fresh.json
+
+# Regenerate the committed collective-workload golden CSV
+# (results/collectives.csv). TestCollectivesGolden pins the artifact
+# bit-identically across all three kernels and any worker count — rerun
+# this target (and commit the diff) after any intentional change to the
+# collective engine, the schemes, or the experiment grid.
+collectives-golden:
+	$(GO) run ./cmd/figures -exp collectives -csv results -q
 
 # CPU + heap pprof of the saturation workload (every allocation
 # attributed). Inspect with `go tool pprof -sample_index=alloc_objects

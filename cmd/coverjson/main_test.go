@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCoverOutput = `?   	uppnoc/cmd/deadlock	[no test files]
+ok  	uppnoc	0.631s	coverage: 100.0% of statements
+ok  	uppnoc/internal/workload	0.186s	coverage: 85.2% of statements
+ok  	uppnoc/internal/sim	(cached)	coverage: 92.1% of statements
+ok  	uppnoc/examples	0.012s	coverage: [no statements]
+--- FAIL: TestSomethingElse (0.00s)
+    foo_test.go:10: unrelated verbose noise with coverage: words in it
+?   	uppnoc/cmd/figures	[no test files]
+	uppnoc/cmd/profile		coverage: 0.0% of statements
+ok  	uppnoc/cmd/tool	0.1s	coverage: [no statements] [no tests to run]
+`
+
+func TestParseCover(t *testing.T) {
+	rep, err := parseCover(strings.NewReader(sampleCoverOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"uppnoc":                   100.0,
+		"uppnoc/internal/workload": 85.2,
+		"uppnoc/internal/sim":      92.1,
+	}
+	if len(rep.Packages) != len(want) {
+		t.Fatalf("parsed %d packages, want %d: %+v", len(rep.Packages), len(want), rep.Packages)
+	}
+	for _, p := range rep.Packages {
+		if want[p.Package] != p.CoveragePct {
+			t.Errorf("%s: got %.1f, want %.1f", p.Package, p.CoveragePct, want[p.Package])
+		}
+	}
+	// Sorted output keeps the committed artifact diff-stable.
+	for i := 1; i < len(rep.Packages); i++ {
+		if rep.Packages[i-1].Package >= rep.Packages[i].Package {
+			t.Fatalf("packages not sorted: %q before %q", rep.Packages[i-1].Package, rep.Packages[i].Package)
+		}
+	}
+	wantUntested := []string{"uppnoc/cmd/deadlock", "uppnoc/cmd/figures", "uppnoc/cmd/profile"}
+	if len(rep.Untested) != len(wantUntested) {
+		t.Fatalf("untested = %v, want %v", rep.Untested, wantUntested)
+	}
+	for i, p := range wantUntested {
+		if rep.Untested[i] != p {
+			t.Fatalf("untested = %v, want %v", rep.Untested, wantUntested)
+		}
+	}
+}
+
+func TestParseCoverRejectsNonCoverageInput(t *testing.T) {
+	if _, err := parseCover(strings.NewReader("ok  	uppnoc	0.1s\nPASS\n")); err == nil {
+		t.Fatal("expected error for input without coverage lines")
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	oldRep := coverReport{Packages: []pkgCoverage{
+		{"uppnoc/internal/network", 80.0},
+		{"uppnoc/internal/sim", 92.0},
+		{"uppnoc/internal/gone", 50.0},
+	}}
+	newRep := coverReport{Packages: []pkgCoverage{
+		{"uppnoc/internal/network", 78.5}, // -1.5pp: regression at 1.0pp tolerance
+		{"uppnoc/internal/sim", 92.3},
+		{"uppnoc/internal/workload", 85.0}, // new: reported, never a regression
+	}}
+	var buf strings.Builder
+	if got := compareReports(oldRep, newRep, 1.0, &buf); got != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", got, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "(new package)", "(dropped package)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Within tolerance: the same drop passes at 2.0pp.
+	if got := compareReports(oldRep, newRep, 2.0, &strings.Builder{}); got != 0 {
+		t.Fatalf("regressions at 2.0pp tolerance = %d, want 0", got)
+	}
+}

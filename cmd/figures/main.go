@@ -10,7 +10,7 @@
 //	figures -exp fig7 -jobs 8        # eight parallel simulation workers
 //
 // Experiments: table1 table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 fault_sweep load_balance tail_latency ablation
+// fig14 fig15 fault_sweep load_balance tail_latency ablation collectives
 // (fig8/fig12/fig15 run together as "fullsystem").
 //
 // Simulation points fan out across a worker pool (-jobs, or UPP_JOBS,
@@ -105,6 +105,9 @@ func main() {
 	}
 	if all || want["tail_latency"] {
 		add(experiments.TailLatency(dur, opts))
+	}
+	if all || want["collectives"] {
+		add(experiments.Collectives(opts))
 	}
 	if all || want["ablation"] {
 		add(experiments.AblationBinding(dur, opts))

@@ -8,6 +8,15 @@
 //	uppsim -scheme upp -faults 10 -rate 0.03
 //	uppsim -scheme upp -fault-plan "flaps=4,drop=0.2" -rate 0.05
 //	uppsim -scheme none -rate 0.10       # watch a deadlock wedge the network
+//
+// Closed-loop collective workloads (see EXPERIMENTS.md for the spec
+// syntax) replace the rate-driven generator; a run can be recorded to a
+// binary trace and replayed open-loop:
+//
+//	uppsim -scheme upp -workload ring_allreduce
+//	uppsim -scheme upp -workload "training_step:gap=500,iters=4"
+//	uppsim -scheme upp -workload all_to_all -record a2a.trace
+//	uppsim -scheme upp -replay a2a.trace
 package main
 
 import (
@@ -17,8 +26,10 @@ import (
 	"os"
 
 	"uppnoc/internal/experiments"
+	"uppnoc/internal/network"
 	"uppnoc/internal/topology"
 	"uppnoc/internal/traffic"
+	"uppnoc/internal/workload"
 )
 
 func main() {
@@ -38,6 +49,10 @@ func main() {
 		adaptive   = flag.Bool("adaptive", false, "minimal-adaptive odd-even local routing")
 		vct        = flag.Bool("vct", false, "virtual cut-through flow control")
 		asJSON     = flag.Bool("json", false, "emit the result as JSON")
+		wl         = flag.String("workload", "", "closed-loop collective workload spec, e.g. \"ring_allreduce\" or \"training_step:gap=500,iters=4\" (replaces -pattern/-rate)")
+		maxCycles  = flag.Int("max-cycles", 400000, "workload completion horizon")
+		record     = flag.String("record", "", "with -workload: write the run's binary message trace to this file")
+		replay     = flag.String("replay", "", "replay a recorded trace open-loop instead of running a workload")
 	)
 	flag.Parse()
 
@@ -46,6 +61,15 @@ func main() {
 		sysCfg = topology.LargeConfig()
 	}
 	sysCfg.BoundaryPerChiplet = *boundaries
+
+	if *replay != "" {
+		runReplay(sysCfg, *schemeName, *vcs, *seed, *maxCycles, *replay)
+		return
+	}
+	if *wl != "" {
+		runWorkload(sysCfg, *schemeName, *vcs, *seed, *maxCycles, *wl, *record, *asJSON)
+		return
+	}
 
 	pat, err := traffic.PatternByName(*patName)
 	if err != nil {
@@ -94,6 +118,126 @@ func main() {
 		fmt.Printf("upward packets    %d\n", pt.Upward)
 		fmt.Printf("popups completed  %d\n", pt.Popups)
 		fmt.Printf("signal hops       %d\n", pt.Signals)
+	}
+}
+
+// runWorkload drives a closed-loop collective to completion (or the
+// horizon) and prints completion time plus scheme counters.
+func runWorkload(sysCfg topology.SystemConfig, schemeName string, vcs int, seed uint64, maxCycles int, wl, record string, asJSON bool) {
+	spec := experiments.WorkloadSpec{
+		Topo:       sysCfg,
+		Scheme:     experiments.SchemeName(schemeName),
+		Workload:   wl,
+		VCsPerVNet: vcs,
+		Seed:       seed,
+		MaxCycles:  maxCycles,
+	}
+	var rec *workload.TraceRecorder
+	if record != "" {
+		topo, err := topology.Build(sysCfg)
+		if err != nil {
+			fatal(err)
+		}
+		rec = workload.NewTraceRecorder(len(topo.Cores()))
+		spec.Recorder = rec
+	}
+	pt, err := experiments.RunWorkload(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if record != "" {
+		f, err := os.Create(record)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "uppsim: recorded %d messages to %s\n", len(rec.Trace().Records), record)
+	}
+	if asJSON {
+		out, err := json.MarshalIndent(pt, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Printf("scheme            %s\n", schemeName)
+	fmt.Printf("workload          %s\n", wl)
+	fmt.Printf("completed         %v (%d/%d ops)\n", pt.Completed, pt.OpsFired, pt.OpsTotal)
+	if pt.Completed {
+		fmt.Printf("finish cycle      %d\n", pt.FinishCycle)
+	}
+	fmt.Printf("messages          %d\n", pt.Messages)
+	fmt.Printf("avg latency       %.2f cycles (network %.2f + queueing %.2f)\n", pt.TotalLat, pt.NetLat, pt.QueueLat)
+	if schemeName == "upp" {
+		fmt.Printf("upward packets    %d\n", pt.Upward)
+		fmt.Printf("popups completed  %d\n", pt.Popups)
+		fmt.Printf("signal hops       %d\n", pt.Signals)
+	}
+	if schemeName == "remote_control" {
+		fmt.Printf("injection holds   %d\n", pt.InjectionHolds)
+	}
+}
+
+// runReplay re-injects a recorded trace open-loop until every record is
+// in flight or delivered, then drains and prints the final statistics.
+func runReplay(sysCfg topology.SystemConfig, schemeName string, vcs int, seed uint64, maxCycles int, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	trace, err := workload.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := topology.Build(sysCfg)
+	if err != nil {
+		fatal(err)
+	}
+	scheme, err := experiments.MakeScheme(experiments.SchemeName(schemeName), topo)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := network.DefaultConfig()
+	if vcs > 0 {
+		cfg.Router.VCsPerVNet = vcs
+	}
+	cfg.Seed = seed + 1
+	n, err := network.New(topo, cfg, scheme)
+	if err != nil {
+		fatal(err)
+	}
+	rp, err := workload.NewReplayer(n, trace)
+	if err != nil {
+		fatal(err)
+	}
+	for i := 0; i < maxCycles && !rp.Done(); i++ {
+		rp.Tick(n.Cycle())
+		n.Step()
+	}
+	if !rp.Done() {
+		fatal(fmt.Errorf("replay of %s still injecting after %d cycles", path, maxCycles))
+	}
+	if err := n.Drain(maxCycles, 5000); err != nil {
+		fatal(fmt.Errorf("replay drain: %w", err))
+	}
+	fmt.Printf("scheme            %s\n", schemeName)
+	fmt.Printf("trace             %s (%d ranks, %d records)\n", path, trace.Ranks, len(trace.Records))
+	fmt.Printf("final cycle       %d\n", n.Cycle())
+	fmt.Printf("packets born      %d\n", n.Stats.BornPackets)
+	fmt.Printf("packets consumed  %d\n", n.Stats.ConsumedPackets)
+	fmt.Printf("avg latency       %.2f cycles (network %.2f + queueing %.2f)\n",
+		n.AvgTotalLatency(), n.AvgNetLatency(), n.AvgQueueLatency())
+	if schemeName == "upp" {
+		fmt.Printf("upward packets    %d\n", n.Stats.UpwardPackets)
+		fmt.Printf("popups completed  %d\n", n.Stats.PopupsCompleted)
+		fmt.Printf("signal hops       %d\n", n.Stats.SignalsSent)
 	}
 }
 

@@ -48,3 +48,38 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		})
 	}
 }
+
+// TestSteadyStateZeroAllocCollective holds the closed-loop workload
+// engine to the same zero-allocation bar as the rate-driven loop: a
+// looping training-step collective (dependency gating, compute gaps,
+// iteration rollover, barrier) must not allocate per cycle once the
+// engine's one-time buffers (the iteration-cycle log) and the network's
+// lazily-grown structures have reached steady state.
+func TestSteadyStateZeroAllocCollective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second warmup")
+	}
+	if os.Getenv("UPP_NOPOOL") != "" {
+		t.Skip("pooling disabled via UPP_NOPOOL")
+	}
+	for _, kernel := range []string{network.KernelActive, network.KernelParallel} {
+		t.Run(kernel, func(t *testing.T) {
+			wb, err := NewWorkloadBench(kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb.Network().PacketPool().Preallocate(4096)
+			wb.Run(20000) // several training iterations: all buffers at high-water marks
+			allocs := testing.AllocsPerRun(10, func() {
+				wb.Run(500)
+			})
+			if allocs != 0 {
+				t.Fatalf("collective steady-state window allocated %.2f objects per 500 cycles; want exactly 0", allocs)
+			}
+			st := wb.Network().PacketPool().Stats
+			if st.Reuses == 0 {
+				t.Fatal("pool never recycled a packet — the zero-alloc result is vacuous")
+			}
+		})
+	}
+}

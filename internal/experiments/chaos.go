@@ -10,6 +10,7 @@ import (
 	"uppnoc/internal/sim"
 	"uppnoc/internal/topology"
 	"uppnoc/internal/traffic"
+	"uppnoc/internal/workload"
 )
 
 // ChaosSpec describes one chaos-soak run: traffic under an active fault
@@ -21,6 +22,11 @@ type ChaosSpec struct {
 	Plan   faults.Plan
 	Rate   float64
 	Seed   uint64
+	// Workload, when non-empty (workload.ParseSpec syntax), replaces the
+	// rate-driven generator with the closed-loop collective engine: the
+	// workload loops for LoadCycles, then injection stops mid-collective
+	// and the stranded in-flight chunks must drain like any other traffic.
+	Workload string
 	// LoadCycles of offered traffic, then the generator stops and the
 	// network drains for at most DrainMax cycles with StallLimit as the
 	// no-ejection watchdog threshold.
@@ -72,9 +78,32 @@ func RunChaos(spec ChaosSpec) (ChaosOutcome, error) {
 	if _, err := faults.Attach(n, spec.Plan); err != nil {
 		return ChaosOutcome{}, err
 	}
-	g := traffic.NewGenerator(n, traffic.UniformRandom{}, spec.Rate, spec.Seed+7777)
-	g.Run(spec.LoadCycles)
-	g.SetRate(0)
+	if spec.Workload != "" {
+		ws, werr := workload.ParseSpec(spec.Workload)
+		if werr != nil {
+			return ChaosOutcome{}, werr
+		}
+		prog, werr := ws.Build(len(topo.Cores()))
+		if werr != nil {
+			return ChaosOutcome{}, werr
+		}
+		eng, werr := workload.NewEngine(n, prog)
+		if werr != nil {
+			return ChaosOutcome{}, werr
+		}
+		// Loop the collective for the whole load window; stopping the
+		// Ticks afterwards strands the current iteration's in-flight
+		// chunks, which the drain below must deliver.
+		eng.Iterations = 1 << 20
+		for i := 0; i < spec.LoadCycles; i++ {
+			eng.Tick(n.Cycle())
+			n.Step()
+		}
+	} else {
+		g := traffic.NewGenerator(n, traffic.UniformRandom{}, spec.Rate, spec.Seed+7777)
+		g.Run(spec.LoadCycles)
+		g.SetRate(0)
+	}
 	out := ChaosOutcome{}
 	derr := n.Drain(spec.DrainMax, sim.Cycle(spec.StallLimit))
 	out.FinalCycle = n.Cycle()

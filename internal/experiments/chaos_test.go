@@ -32,19 +32,25 @@ func TestChaosSoak(t *testing.T) {
 	// the StallDiagnostic path (which must also be kernel-identical).
 	heavyLossPlan := faults.Generate(topo, 22, faults.GenConfig{DropReq: 0.4, DropAck: 0.4, DropStop: 0.4})
 	cases := []struct {
-		name   string
-		scheme SchemeName
-		plan   faults.Plan
-		rate   float64
+		name     string
+		scheme   SchemeName
+		plan     faults.Plan
+		rate     float64
+		workload string
 	}{
-		{"upp_flaps", SchemeUPP, flapsPlan, 0.06},
-		{"upp_signal_loss", SchemeUPP, lossPlan, 0.06},
-		{"upp_signal_loss_heavy", SchemeUPP, heavyLossPlan, 0.12},
-		{"upp_eject_stalls", SchemeUPP, stallsPlan, 0.06},
-		{"upp_mayhem", SchemeUPP, mayhemPlan, 0.06},
-		{"remote_control_flaps", SchemeRemoteControl, flapsPlan, 0.06},
-		{"remote_control_stalls", SchemeRemoteControl, stallsPlan, 0.06},
-		{"none_flaps", SchemeNone, flapsPlan, 0.06},
+		{"upp_flaps", SchemeUPP, flapsPlan, 0.06, ""},
+		{"upp_signal_loss", SchemeUPP, lossPlan, 0.06, ""},
+		{"upp_signal_loss_heavy", SchemeUPP, heavyLossPlan, 0.12, ""},
+		{"upp_eject_stalls", SchemeUPP, stallsPlan, 0.06, ""},
+		{"upp_mayhem", SchemeUPP, mayhemPlan, 0.06, ""},
+		{"remote_control_flaps", SchemeRemoteControl, flapsPlan, 0.06, ""},
+		{"remote_control_stalls", SchemeRemoteControl, stallsPlan, 0.06, ""},
+		{"none_flaps", SchemeNone, flapsPlan, 0.06, ""},
+		// Closed-loop collective legs: the dependency-gated engine keeps
+		// injecting while links flap and signals drop; stopping mid-ring
+		// strands in-flight chunks the drain must still deliver.
+		{"upp_collective_flaps", SchemeUPP, flapsPlan, 0, "ring_allreduce"},
+		{"upp_collective_mayhem", SchemeUPP, mayhemPlan, 0, "all_to_all"},
 	}
 	kernels := []string{network.KernelNaive, network.KernelActive, network.KernelParallel}
 	for _, tc := range cases {
@@ -58,6 +64,7 @@ func TestChaosSoak(t *testing.T) {
 					Kernel:     kernel,
 					Plan:       tc.plan,
 					Rate:       tc.rate,
+					Workload:   tc.workload,
 					Seed:       97,
 					LoadCycles: 2500,
 					DrainMax:   15000,

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+
+	"uppnoc/internal/network"
+	"uppnoc/internal/sim"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/workload"
+)
+
+// WorkloadSpec describes one closed-loop collective run: a workload
+// program (workload.ParseSpec syntax) driven to completion against one
+// scheme. Unlike RunSpec there is no offered rate — the workload's
+// dependency structure sets the load, and the figure of merit is
+// completion time, not saturation throughput.
+type WorkloadSpec struct {
+	Topo       topology.SystemConfig
+	Scheme     SchemeName
+	Workload   string
+	VCsPerVNet int
+	Seed       uint64
+	// MaxCycles bounds the run; a workload still unfinished then is
+	// reported as Completed=false (under a scheme without recovery a
+	// closed loop can genuinely deadlock — that is a result, not an
+	// error).
+	MaxCycles int
+	// Recorder, when non-nil, observes every injected message (the trace
+	// record frontend).
+	Recorder workload.Recorder
+}
+
+// WorkloadPoint is the measured outcome of one collective run.
+type WorkloadPoint struct {
+	Workload    string
+	Scheme      SchemeName
+	Completed   bool
+	FinishCycle sim.Cycle
+	// Messages counts workload chunks delivered (all iterations).
+	Messages uint64
+	// Ops progress at the horizon (diagnostic for incomplete runs).
+	OpsFired, OpsTotal int
+	NetLat             float64
+	QueueLat           float64
+	TotalLat           float64
+	Upward             uint64
+	Popups             uint64
+	Signals            uint64
+	InjectionHolds     uint64
+}
+
+// RunWorkload executes one collective run. Workload completion implies
+// every injected message was consumed (Program.Validate proves the
+// closed loop is closed), so a completed run needs no drain: the network
+// is empty at FinishCycle.
+func RunWorkload(spec WorkloadSpec) (WorkloadPoint, error) {
+	topo, err := topology.Build(spec.Topo)
+	if err != nil {
+		return WorkloadPoint{}, err
+	}
+	scheme, err := cachedScheme(spec.Topo, spec.Scheme)(topo)
+	if err != nil {
+		return WorkloadPoint{}, err
+	}
+	cfg := network.DefaultConfig()
+	if spec.VCsPerVNet > 0 {
+		cfg.Router.VCsPerVNet = spec.VCsPerVNet
+	}
+	cfg.Seed = spec.Seed + 1
+	n, err := network.New(topo, cfg, scheme)
+	if err != nil {
+		return WorkloadPoint{}, err
+	}
+	ws, err := workload.ParseSpec(spec.Workload)
+	if err != nil {
+		return WorkloadPoint{}, err
+	}
+	prog, err := ws.Build(len(topo.Cores()))
+	if err != nil {
+		return WorkloadPoint{}, err
+	}
+	eng, err := workload.NewEngine(n, prog)
+	if err != nil {
+		return WorkloadPoint{}, err
+	}
+	eng.Iterations = ws.EngineIterations()
+	eng.SetRecorder(spec.Recorder)
+	maxCycles := spec.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 400000
+	}
+	for i := 0; i < maxCycles && !eng.Done(); i++ {
+		eng.Tick(n.Cycle())
+		n.Step()
+	}
+	pt := WorkloadPoint{
+		Workload:       spec.Workload,
+		Scheme:         spec.Scheme,
+		Completed:      eng.Done(),
+		Messages:       eng.MessagesDelivered,
+		NetLat:         n.AvgNetLatency(),
+		QueueLat:       n.AvgQueueLatency(),
+		TotalLat:       n.AvgTotalLatency(),
+		Upward:         n.Stats.UpwardPackets,
+		Popups:         n.Stats.PopupsCompleted,
+		Signals:        n.Stats.SignalsSent,
+		InjectionHolds: n.Stats.InjectionHolds,
+	}
+	pt.OpsFired, pt.OpsTotal = eng.Progress()
+	if eng.Done() {
+		pt.FinishCycle = eng.FinishCycle()
+		if n.InFlight() != 0 {
+			return pt, fmt.Errorf("collectives: %s finished with %d packets in flight — the closed loop did not close", spec.Workload, n.InFlight())
+		}
+	}
+	return pt, nil
+}
+
+// RunWorkloads executes the specs across the worker pool, results in
+// input order, bit-identical at any job count (each run is a fresh
+// deterministic simulation).
+func RunWorkloads(specs []WorkloadSpec, opts PoolOptions) ([]WorkloadPoint, error) {
+	points := make([]WorkloadPoint, len(specs))
+	errs := make([]error, len(specs))
+	forEachIndex(len(specs), opts.jobs(), func(i int) {
+		points[i], errs[i] = RunWorkload(specs[i])
+	})
+	var failed []*RunError
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, &RunError{Index: i, Err: err})
+		}
+	}
+	if failed != nil {
+		return points, &BatchError{Failed: failed, Total: len(specs)}
+	}
+	return points, nil
+}
+
+// CollectiveWorkloads returns the workload specs of the collectives
+// table: every builder at its defaults, ring allreduce and all-to-all
+// additionally at a larger chunk size (the two the acceptance comparison
+// centers on).
+func CollectiveWorkloads() []string {
+	ws := workload.Names()
+	return append(ws, "ring_allreduce:flits=10", "all_to_all:flits=10")
+}
+
+// Collectives runs the collective-communication comparison: every
+// workload under the paper's three schemes, reporting completion time
+// and the recovery/avoidance work each scheme performed. UPP's
+// completion times track the unconstrained baseline while composable
+// pays its path restrictions and remote control its injection holds on
+// the bursty exchanges.
+func Collectives(opts PoolOptions) ([]Table, error) {
+	table := Table{
+		ID:    "collectives",
+		Title: "Collective workload completion: UPP vs remote control vs composable",
+		Header: []string{"workload", "scheme", "completed", "finish_cycle", "messages",
+			"avg_lat", "net_lat", "queue_lat", "upward", "popups", "signals", "inj_holds"},
+		Notes: []string{
+			"closed-loop dependency-driven traffic (DESIGN.md sec. 11): completion time is the figure of merit",
+			"a workload that cannot finish within the horizon reports completed=false",
+		},
+	}
+	var specs []WorkloadSpec
+	for _, wl := range CollectiveWorkloads() {
+		for _, sch := range ComparedSchemes() {
+			specs = append(specs, WorkloadSpec{
+				Topo:     topology.BaselineConfig(),
+				Scheme:   sch,
+				Workload: wl,
+				Seed:     11,
+			})
+		}
+	}
+	opts.Progress.log("collectives: %d runs (%d workloads x %d schemes)",
+		len(specs), len(CollectiveWorkloads()), len(ComparedSchemes()))
+	points, err := RunWorkloads(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range points {
+		table.AddRowf(pt.Workload, string(pt.Scheme), pt.Completed, int64(pt.FinishCycle), pt.Messages,
+			pt.TotalLat, pt.NetLat, pt.QueueLat, pt.Upward, pt.Popups, pt.Signals, pt.InjectionHolds)
+	}
+	return []Table{table}, nil
+}
+
+// WorkloadBench is the collective analogue of KernelBench: a baseline
+// UPP system running a long closed-loop training workload, prepared for
+// zero-allocation and kernel benchmarking of the workload engine path.
+type WorkloadBench struct {
+	eng *workload.Engine
+	net *network.Network
+}
+
+// NewWorkloadBench builds a training-step workload (many iterations, a
+// short compute gap so the network stays busy) on a fresh baseline UPP
+// system under the given kernel.
+func NewWorkloadBench(kernel string) (*WorkloadBench, error) {
+	topo, err := topology.Build(topology.BaselineConfig())
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := MakeScheme(SchemeUPP, topo)
+	if err != nil {
+		return nil, err
+	}
+	cfg := network.DefaultConfig()
+	cfg.Kernel = kernel
+	n, err := network.New(topo, cfg, scheme)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := workload.TrainingStep(len(topo.Cores()), 5, 50)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := workload.NewEngine(n, prog)
+	if err != nil {
+		return nil, err
+	}
+	eng.Iterations = 1 << 30 // effectively unbounded: benches never finish
+	return &WorkloadBench{eng: eng, net: n}, nil
+}
+
+// Network exposes the benched network (pool preallocation).
+func (wb *WorkloadBench) Network() *network.Network { return wb.net }
+
+// Run advances the closed loop the given number of cycles.
+func (wb *WorkloadBench) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		wb.eng.Tick(wb.net.Cycle())
+		wb.net.Step()
+	}
+}

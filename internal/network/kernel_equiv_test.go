@@ -9,8 +9,10 @@ import (
 	"uppnoc/internal/core"
 	"uppnoc/internal/network"
 	"uppnoc/internal/remotectl"
+	"uppnoc/internal/sim"
 	"uppnoc/internal/topology"
 	"uppnoc/internal/traffic"
+	"uppnoc/internal/workload"
 )
 
 // kernelRun drives one fixed workload under the given kernel and returns
@@ -95,6 +97,66 @@ func TestKernelTraceEquality(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// kernelCollectiveRun drives one closed-loop ring allreduce under UPP to
+// completion and returns the full flit-level trace plus stats and the
+// completion cycle.
+func kernelCollectiveRun(t *testing.T, kernel string) (string, network.Stats, sim.Cycle) {
+	t.Helper()
+	topo := topology.MustBuild(topology.BaselineConfig())
+	cfg := network.DefaultConfig()
+	cfg.Kernel = kernel
+	n := network.MustNew(topo, cfg, core.New(core.DefaultConfig()))
+	var buf bytes.Buffer
+	n.SetTracer(network.WriteTracer(&buf, 0))
+	prog, err := workload.RingAllReduce(len(topo.Cores()), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := workload.NewEngine(n, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Iterations = 2
+	if err := eng.Run(200000); err != nil {
+		t.Fatalf("kernel %s: %v", kernel, err)
+	}
+	return buf.String(), n.Stats, eng.FinishCycle()
+}
+
+// TestKernelTraceEqualityCollective is the collective-workload leg of
+// the kernel bit-identity contract: the closed-loop engine reads
+// consumption events (NI Consume hooks), which the parallel kernel
+// defers to its commit phase — this test proves that deferral is
+// invisible at flit granularity, under dependency-gated traffic whose
+// injection times are themselves functions of earlier deliveries.
+func TestKernelTraceEqualityCollective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	activeTrace, activeStats, activeFinish := kernelCollectiveRun(t, network.KernelActive)
+	for _, kernel := range []string{network.KernelNaive, network.KernelParallel} {
+		trace, stats, finish := kernelCollectiveRun(t, kernel)
+		if finish != activeFinish {
+			t.Errorf("completion cycle diverges: active %d, %s %d", activeFinish, kernel, finish)
+		}
+		if activeStats != stats {
+			t.Errorf("stats diverge:\nactive:   %+v\n%-8s: %+v", activeStats, kernel, stats)
+		}
+		if activeTrace != trace {
+			i := 0
+			for i < len(activeTrace) && i < len(trace) && activeTrace[i] == trace[i] {
+				i++
+			}
+			lo := i - 200
+			if lo < 0 {
+				lo = 0
+			}
+			t.Fatalf("flit traces diverge at byte %d:\nactive:   ...%.300s\n%-8s: ...%.300s",
+				i, activeTrace[lo:], kernel, trace[lo:])
+		}
 	}
 }
 

@@ -1,0 +1,307 @@
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+
+	"uppnoc/internal/message"
+)
+
+// Data chunks ride the response VNet as data-class packets; coordination
+// messages (barrier arrivals/releases, parameter-server requests) ride
+// the request and forward VNets as control packets — the same VNet
+// discipline the MESI evaluation uses, so workload traffic can never
+// create a protocol-level dependency cycle (every message is consumed
+// unconditionally on arrival; only *injection* is dependency-gated).
+const (
+	// CtlFlits is the size of coordination messages.
+	CtlFlits = 1
+)
+
+// builder accumulates a Program: tags are allocated in construction
+// order, which makes programs deterministic by construction.
+type builder struct {
+	prog Program
+}
+
+func newBuilder(name string, ranks int) *builder {
+	return &builder{prog: Program{Name: name, Ops: make([][]Op, ranks)}}
+}
+
+// tag allocates the next message tag, destined for rank dst.
+func (b *builder) tag(dst int) int {
+	t := b.prog.NumTags
+	b.prog.NumTags++
+	b.prog.TagDst = append(b.prog.TagDst, dst)
+	return t
+}
+
+// op appends an op to rank r's program.
+func (b *builder) op(r int, op Op) {
+	b.prog.Ops[r] = append(b.prog.Ops[r], op)
+}
+
+func (b *builder) build() (Program, error) {
+	if err := b.prog.Validate(); err != nil {
+		return Program{}, err
+	}
+	return b.prog, nil
+}
+
+func dataSend(to, tag, flits int) Send {
+	return Send{To: to, Tag: tag, Flits: flits, VNet: message.VNetResponse, Class: message.ClassSyntheticData}
+}
+
+func ctlSend(to, tag int, vnet message.VNet) Send {
+	return Send{To: to, Tag: tag, Flits: CtlFlits, VNet: vnet, Class: message.ClassSyntheticCtrl}
+}
+
+// RingAllReduce is the classic two-phase ring: n-1 reduce-scatter steps
+// followed by n-1 allgather steps. At step s rank i sends one chunk of
+// `flits` flits to rank (i+1) mod n, gated on the chunk it received from
+// rank (i-1) mod n at step s-1 — the canonical closed loop: exactly one
+// chunk per rank is in flight, and a single stalled link stalls the whole
+// ring behind it.
+func RingAllReduce(n, flits int) (Program, error) {
+	return ringPhases(n, flits, "ring_allreduce", 2*(n-1))
+}
+
+// ReduceScatter is the first phase of the ring on its own.
+func ReduceScatter(n, flits int) (Program, error) {
+	return ringPhases(n, flits, "reduce_scatter", n-1)
+}
+
+func ringPhases(n, flits int, name string, steps int) (Program, error) {
+	b := newBuilder(name, n)
+	// tags[s][i] is the chunk rank i sends at step s.
+	tags := make([][]int, steps)
+	for s := range tags {
+		tags[s] = make([]int, n)
+		for i := 0; i < n; i++ {
+			tags[s][i] = b.tag((i + 1) % n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		prev := (i - 1 + n) % n
+		for s := 0; s < steps; s++ {
+			op := Op{Sends: []Send{dataSend((i+1)%n, tags[s][i], flits)}}
+			if s > 0 {
+				op.Wait = []int{tags[s-1][prev]}
+			}
+			b.op(i, op)
+		}
+		// Final receive: the last chunk from the predecessor completes
+		// this rank's result (and closes the loop on every message).
+		b.op(i, Op{Wait: []int{tags[steps-1][prev]}})
+	}
+	return b.build()
+}
+
+// bcastEdges lists the binomial broadcast tree rooted at relative rank 0:
+// in round r every covered rank v < 2^r sends to v + 2^r. The returned
+// edges are in (round, sender) order.
+type bcastEdge struct{ round, from, to int }
+
+func bcastEdges(n int) []bcastEdge {
+	var edges []bcastEdge
+	for r := 0; 1<<r < n; r++ {
+		for v := 0; v < 1<<r; v++ {
+			if w := v + 1<<r; w < n {
+				edges = append(edges, bcastEdge{round: r, from: v, to: w})
+			}
+		}
+	}
+	return edges
+}
+
+// addBroadcast appends a binomial-tree broadcast from root over relative
+// ranks (relative rank v = absolute (root+v) mod n): every non-root rank
+// first waits for its inbound chunk, then forwards down its subtree.
+// Returns the tag each rank receives on (indexed by relative rank; -1
+// for the root).
+func addBroadcast(b *builder, n, root, flits int, data bool) []int {
+	abs := func(v int) int { return (root + v) % n }
+	inTag := make([]int, n)
+	for v := range inTag {
+		inTag[v] = -1
+	}
+	type pending struct {
+		round int
+		send  Send
+	}
+	outs := make([][]pending, n)
+	for _, e := range bcastEdges(n) {
+		t := b.tag(abs(e.to))
+		inTag[e.to] = t
+		var s Send
+		if data {
+			s = dataSend(abs(e.to), t, flits)
+		} else {
+			s = ctlSend(abs(e.to), t, message.VNetForward)
+		}
+		outs[e.from] = append(outs[e.from], pending{round: e.round, send: s})
+	}
+	for v := 0; v < n; v++ {
+		if v != 0 {
+			b.op(abs(v), Op{Wait: []int{inTag[v]}})
+		}
+		for _, p := range outs[v] {
+			b.op(abs(v), Op{Sends: []Send{p.send}})
+		}
+	}
+	return inTag
+}
+
+// Broadcast distributes root's chunk down a binomial tree: log2(n)
+// rounds, each receiver forwarding only after its own copy arrived.
+func Broadcast(n, flits, root int) (Program, error) {
+	if root < 0 || root >= n {
+		return Program{}, fmt.Errorf("workload broadcast: root %d out of %d ranks", root, n)
+	}
+	b := newBuilder("broadcast", n)
+	addBroadcast(b, n, root, flits, true)
+	return b.build()
+}
+
+// TreeAllReduce reduces up a binomial tree to rank 0 and broadcasts the
+// result back down: rank v sends its partial to v - 2^lsb(v) after
+// receiving every child's partial, then the reverse tree distributes the
+// result.
+func TreeAllReduce(n, flits int) (Program, error) {
+	b := newBuilder("tree_allreduce", n)
+	// Reduce phase: every rank v != 0 sends its partial upward once, at
+	// round lsb(v), to parent v - 2^lsb(v); childTags[v] lists the tags v
+	// must gather before its own upward send.
+	childTags := make([][]int, n)
+	upTag := make([]int, n)
+	for v := 1; v < n; v++ {
+		parent := v - 1<<lsb(v)
+		t := b.tag(parent)
+		upTag[v] = t
+		childTags[parent] = append(childTags[parent], t)
+	}
+	for v := 0; v < n; v++ {
+		if len(childTags[v]) > 0 {
+			b.op(v, Op{Wait: childTags[v]})
+		}
+		if v != 0 {
+			b.op(v, Op{Sends: []Send{dataSend(v-1<<lsb(v), upTag[v], flits)}})
+		}
+	}
+	addBroadcast(b, n, 0, flits, true)
+	return b.build()
+}
+
+func lsb(v int) int { return bits.TrailingZeros(uint(v)) }
+
+// AllToAll is the bursty personalized exchange: n-1 rounds, rank i
+// sending its chunk for rank (i+r) mod n in round r, gated on the chunk
+// it received in round r-1 (from rank (i-(r-1)) mod n). Every round is a
+// full permutation in flight at once — the workload where
+// integration-induced cycles bite hardest.
+func AllToAll(n, flits int) (Program, error) {
+	b := newBuilder("all_to_all", n)
+	// tags[r][i]: the chunk rank i sends in round r (1-based rounds).
+	tags := make([][]int, n)
+	for r := 1; r < n; r++ {
+		tags[r] = make([]int, n)
+		for i := 0; i < n; i++ {
+			tags[r][i] = b.tag((i + r) % n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for r := 1; r < n; r++ {
+			op := Op{Sends: []Send{dataSend((i+r)%n, tags[r][i], flits)}}
+			if r > 1 {
+				op.Wait = []int{tags[r-1][(i-(r-1)+n)%n]}
+			}
+			b.op(i, op)
+		}
+		b.op(i, Op{Wait: []int{tags[n-1][(i-(n-1)+n)%n]}})
+	}
+	return b.build()
+}
+
+// ParamServer is the hotspot pattern: ranks 0..servers-1 are parameter
+// servers, the rest are workers. Each iteration a worker pushes its
+// gradient (data) to its server and waits for the updated parameters
+// (data) before pushing again; a server waits for every assigned
+// worker's gradient before answering any of them — the fan-in/fan-out
+// hotspot that concentrates load on a few ejection queues.
+func ParamServer(n, flits, servers, iters int) (Program, error) {
+	if servers < 1 || servers >= n {
+		return Program{}, fmt.Errorf("workload param_server: %d servers of %d ranks", servers, n)
+	}
+	if iters < 1 {
+		return Program{}, fmt.Errorf("workload param_server: %d iterations", iters)
+	}
+	b := newBuilder("param_server", n)
+	for it := 0; it < iters; it++ {
+		grad := make([]int, n)  // worker w's gradient tag
+		reply := make([]int, n) // worker w's reply tag
+		for w := servers; w < n; w++ {
+			s := w % servers
+			grad[w] = b.tag(s)
+			reply[w] = b.tag(w)
+		}
+		for w := servers; w < n; w++ {
+			s := w % servers
+			b.op(w, Op{Sends: []Send{dataSend(s, grad[w], flits)}})
+			b.op(w, Op{Wait: []int{reply[w]}})
+		}
+		for s := 0; s < servers; s++ {
+			var gather []int
+			var replies []Send
+			for w := servers; w < n; w++ {
+				if w%servers == s {
+					gather = append(gather, grad[w])
+					replies = append(replies, dataSend(w, reply[w], flits))
+				}
+			}
+			b.op(s, Op{Wait: gather})
+			b.op(s, Op{Sends: replies})
+		}
+	}
+	return b.build()
+}
+
+// addBarrier appends a centralized-gather/tree-release barrier: every
+// rank reports to rank 0 on the request VNet; once all arrivals are in,
+// rank 0 releases everyone down the binomial tree on the forward VNet.
+func addBarrier(b *builder) {
+	n := b.prog.Ranks()
+	arrive := make([]int, 0, n-1)
+	for r := 1; r < n; r++ {
+		t := b.tag(0)
+		arrive = append(arrive, t)
+		b.op(r, Op{Sends: []Send{ctlSend(0, t, message.VNetRequest)}})
+	}
+	b.op(0, Op{Wait: arrive})
+	addBroadcast(b, n, 0, CtlFlits, false)
+}
+
+// TrainingStep is one phase-structured ML training iteration: a local
+// compute gap (forward/backward pass), a gradient-exchange burst (ring
+// allreduce of `flits`-flit chunks), and a barrier before the next step.
+// Run it with Engine.Iterations > 1 for a full training loop; the
+// barrier makes iteration boundaries network-visible, so successive
+// bursts stay as bursty as real training traffic.
+func TrainingStep(n, flits, gap int) (Program, error) {
+	if gap < 0 {
+		return Program{}, fmt.Errorf("workload training_step: negative gap %d", gap)
+	}
+	ring, err := ringPhases(n, flits, "training_step", 2*(n-1))
+	if err != nil {
+		return Program{}, err
+	}
+	b := &builder{prog: ring}
+	// Prepend the compute gap to every rank (splice: gap op first).
+	for r := range b.prog.Ops {
+		ops := make([]Op, 0, len(b.prog.Ops[r])+1)
+		ops = append(ops, Op{Compute: gap})
+		ops = append(ops, b.prog.Ops[r]...)
+		b.prog.Ops[r] = ops
+	}
+	addBarrier(b)
+	return b.build()
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"uppnoc/internal/message"
+)
+
+// TestCollectiveMessageCounts pins each builder's per-iteration message
+// count to its closed form — a builder that silently drops or duplicates
+// an edge changes completion semantics without failing Validate's
+// structural checks alone.
+func TestCollectiveMessageCounts(t *testing.T) {
+	const n = 16
+	bcast := n - 1 // binomial tree has exactly n-1 edges
+	cases := []struct {
+		name  string
+		build func() (Program, error)
+		want  int
+	}{
+		{"ring_allreduce", func() (Program, error) { return RingAllReduce(n, 5) }, 2 * (n - 1) * n},
+		{"reduce_scatter", func() (Program, error) { return ReduceScatter(n, 5) }, (n - 1) * n},
+		{"broadcast", func() (Program, error) { return Broadcast(n, 5, 3) }, bcast},
+		{"tree_allreduce", func() (Program, error) { return TreeAllReduce(n, 5) }, (n - 1) + bcast},
+		{"all_to_all", func() (Program, error) { return AllToAll(n, 5) }, (n - 1) * n},
+		{"param_server", func() (Program, error) { return ParamServer(n, 5, 4, 2) }, 2 * 2 * (n - 4)},
+		// ring + barrier: ring messages + n-1 arrivals + n-1 releases.
+		{"training_step", func() (Program, error) { return TrainingStep(n, 5, 100) }, 2*(n-1)*n + 2*(n-1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prog.Messages() != tc.want {
+				t.Fatalf("%d messages, want %d", prog.Messages(), tc.want)
+			}
+			if prog.Ranks() != n {
+				t.Fatalf("%d ranks, want %d", prog.Ranks(), n)
+			}
+		})
+	}
+}
+
+// TestCollectivesValidateAcrossSizes: every builder must produce a
+// Validate-clean program at awkward rank counts (non-powers of two, the
+// 2-rank minimum, the baseline 64).
+func TestCollectivesValidateAcrossSizes(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 7, 16, 63, 64} {
+		for _, name := range Names() {
+			if name == "param_server" && n < 3 {
+				continue // needs at least 1 server + 2 workers to be interesting
+			}
+			spec, err := ParseSpec(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "param_server" {
+				spec.Servers = 1
+			}
+			if _, err := spec.Build(n); err != nil {
+				t.Errorf("%s at n=%d: %v", name, n, err)
+			}
+		}
+	}
+}
+
+// TestBroadcastRootRotation: the tree must be rooted where asked — the
+// root rank has no waits, and every other rank's first op is a wait.
+func TestBroadcastRootRotation(t *testing.T) {
+	const n, root = 16, 5
+	prog, err := Broadcast(n, 5, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		ops := prog.Ops[r]
+		if r == root {
+			for _, op := range ops {
+				if len(op.Wait) != 0 {
+					t.Fatalf("root rank %d has a wait", r)
+				}
+			}
+			continue
+		}
+		if len(ops) == 0 || len(ops[0].Wait) != 1 {
+			t.Fatalf("rank %d does not start by waiting for its chunk", r)
+		}
+	}
+}
+
+// TestVNetDiscipline: data chunks ride the response VNet, barrier
+// arrivals the request VNet, and barrier releases the forward VNet —
+// the class/VNet split that keeps workload traffic off protocol-level
+// dependency cycles.
+func TestVNetDiscipline(t *testing.T) {
+	prog, err := TrainingStep(8, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data, req, fwd int
+	for _, ops := range prog.Ops {
+		for _, op := range ops {
+			for _, s := range op.Sends {
+				switch {
+				case s.Class == message.ClassSyntheticData && s.VNet == message.VNetResponse:
+					data++
+				case s.Class == message.ClassSyntheticCtrl && s.VNet == message.VNetRequest:
+					req++
+				case s.Class == message.ClassSyntheticCtrl && s.VNet == message.VNetForward:
+					fwd++
+				default:
+					t.Fatalf("send %+v violates the VNet discipline", s)
+				}
+			}
+		}
+	}
+	if data != 2*(8-1)*8 || req != 7 || fwd != 7 {
+		t.Fatalf("data=%d req=%d fwd=%d; want 112/7/7", data, req, fwd)
+	}
+}
+
+// TestParamServerHotspot: every gradient converges on the server ranks.
+func TestParamServerHotspot(t *testing.T) {
+	const n, servers = 16, 2
+	prog, err := ParamServer(n, 5, servers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers send only to their assigned server; servers send only to
+	// their own workers.
+	for r, ops := range prog.Ops {
+		for _, op := range ops {
+			for _, s := range op.Sends {
+				if r >= servers && s.To != r%servers {
+					t.Fatalf("worker %d sends to rank %d, not its server %d", r, s.To, r%servers)
+				}
+				if r < servers && s.To%servers != r {
+					t.Fatalf("server %d replies to foreign worker %d", r, s.To)
+				}
+			}
+		}
+	}
+	// Each server sees (n-servers)/servers gradients.
+	perServer := (n - servers) / servers
+	for s := 0; s < servers; s++ {
+		seen := 0
+		for _, dst := range prog.TagDst {
+			if dst == s {
+				seen++
+			}
+		}
+		if seen != perServer {
+			t.Fatalf("server %d receives %d gradients, want %d", s, seen, perServer)
+		}
+	}
+}
+
+// TestBuilderDeterminism: building the same program twice yields
+// identical structures (tag allocation is construction-ordered, no map
+// iteration anywhere).
+func TestBuilderDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		spec, _ := ParseSpec(name)
+		a, err := spec.Build(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := spec.Build(32)
+		if a.NumTags != b.NumTags || len(a.TagDst) != len(b.TagDst) {
+			t.Fatalf("%s: tag allocation differs between builds", name)
+		}
+		for i := range a.TagDst {
+			if a.TagDst[i] != b.TagDst[i] {
+				t.Fatalf("%s: TagDst[%d] differs", name, i)
+			}
+		}
+		for r := range a.Ops {
+			if len(a.Ops[r]) != len(b.Ops[r]) {
+				t.Fatalf("%s: rank %d op count differs", name, r)
+			}
+		}
+	}
+}

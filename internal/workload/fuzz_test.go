@@ -1,0 +1,67 @@
+package workload_test
+
+import (
+	"bytes"
+	"testing"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/workload"
+)
+
+// FuzzTraceReplay holds ReadTrace to its contract on arbitrary input:
+// malformed headers, truncated records, out-of-range node IDs and sizes
+// must all return errors — never panic and never hang — and any trace
+// that does parse must survive a write/re-read round trip unchanged
+// (so replaying a fuzzer-found file can never feed the network an
+// unvalidated record).
+func FuzzTraceReplay(f *testing.F) {
+	// Seed corpus: one valid trace, plus targeted corruptions of it.
+	valid := func() []byte {
+		rec := workload.NewTraceRecorder(4)
+		rec.Record(0, 0, 1, message.VNetResponse, message.ClassSyntheticData, 5)
+		rec.Record(2, 1, 2, message.VNetRequest, message.ClassSyntheticCtrl, 1)
+		rec.Record(2, 3, 0, message.VNetForward, message.ClassSyntheticCtrl, 1)
+		var buf bytes.Buffer
+		if err := rec.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("UPWT"))
+	f.Add([]byte("UPWT\x01"))
+	f.Add([]byte("UPWT\x02\x04\x01"))
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte{}, valid...), 0x00))
+	// Declared record count far beyond the payload.
+	f.Add([]byte("UPWT\x01\x04\xff\xff\xff\xff\x0f"))
+	// Out-of-range src rank inside an otherwise valid stream.
+	f.Add([]byte("UPWT\x01\x04\x01\x00\x09\x01\x02\x01\x05"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := workload.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is always acceptable; panics/hangs are not
+		}
+		// Accepted traces must be internally valid: re-serialize and
+		// re-parse losslessly.
+		var buf bytes.Buffer
+		if werr := workload.WriteTrace(&buf, tr); werr != nil {
+			t.Fatalf("parsed trace fails to re-serialize: %v", werr)
+		}
+		tr2, rerr := workload.ReadTrace(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip fails to re-parse: %v", rerr)
+		}
+		if tr2.Ranks != tr.Ranks || len(tr2.Records) != len(tr.Records) {
+			t.Fatalf("round trip changed shape: %d/%d ranks, %d/%d records",
+				tr.Ranks, tr2.Ranks, len(tr.Records), len(tr2.Records))
+		}
+		for i := range tr.Records {
+			if tr.Records[i] != tr2.Records[i] {
+				t.Fatalf("round trip changed record %d: %+v vs %+v", i, tr.Records[i], tr2.Records[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/network"
+	"uppnoc/internal/sim"
+	"uppnoc/internal/topology"
+)
+
+// Binary trace format ("UPWT"), the record/replay frontend that makes
+// third-party workload traces loadable:
+//
+//	magic   [4]byte "UPWT"
+//	version byte    (1)
+//	ranks   uvarint (core count the trace was recorded over)
+//	records uvarint (exact record count; trailing bytes are an error)
+//	record* :
+//	    dcycle uvarint (cycle delta vs the previous record; cycles are
+//	                    non-decreasing by construction)
+//	    src    uvarint (core rank)
+//	    dst    uvarint (core rank, != src)
+//	    vnet   byte
+//	    class  byte
+//	    flits  uvarint (1..MaxTraceFlits)
+//
+// ReadTrace validates every field and returns an error — never panics —
+// on malformed headers, truncated records, out-of-range node IDs or
+// sizes (FuzzTraceReplay holds it to that).
+const (
+	traceMagic   = "UPWT"
+	traceVersion = 1
+	// MaxTraceRanks bounds the rank count a trace may declare.
+	MaxTraceRanks = 1 << 20
+	// MaxTraceFlits bounds a single message's flit count.
+	MaxTraceFlits = 1 << 10
+)
+
+// TraceRecord is one injected message of a recorded run.
+type TraceRecord struct {
+	Cycle sim.Cycle
+	Src   int
+	Dst   int
+	VNet  message.VNet
+	Class message.Class
+	Flits int
+}
+
+// Trace is a parsed workload trace.
+type Trace struct {
+	Ranks   int
+	Records []TraceRecord
+}
+
+// TraceRecorder implements Recorder by accumulating records in memory
+// (injection order — ascending cycle, ranks ascending within a cycle —
+// which WriteTrace's delta encoding requires).
+type TraceRecorder struct {
+	trace Trace
+}
+
+// NewTraceRecorder returns a recorder for a system with the given core
+// count. Attach with Engine.SetRecorder.
+func NewTraceRecorder(ranks int) *TraceRecorder {
+	return &TraceRecorder{trace: Trace{Ranks: ranks}}
+}
+
+// Record implements Recorder.
+func (r *TraceRecorder) Record(cycle sim.Cycle, srcRank, dstRank int, vnet message.VNet, class message.Class, flits int) {
+	r.trace.Records = append(r.trace.Records, TraceRecord{
+		Cycle: cycle, Src: srcRank, Dst: dstRank, VNet: vnet, Class: class, Flits: flits,
+	})
+}
+
+// Trace returns the accumulated trace.
+func (r *TraceRecorder) Trace() *Trace { return &r.trace }
+
+// Write writes the trace in the binary format.
+func (r *TraceRecorder) Write(w io.Writer) error { return WriteTrace(w, &r.trace) }
+
+// WriteTrace serializes t. Records must be in non-decreasing cycle order
+// (the order the engine injects in).
+func WriteTrace(w io.Writer, t *Trace) error {
+	if t.Ranks < 2 || t.Ranks > MaxTraceRanks {
+		return fmt.Errorf("workload trace: rank count %d out of range [2, %d]", t.Ranks, MaxTraceRanks)
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(traceMagic)
+	bw.WriteByte(traceVersion)
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		bw.Write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+	put(uint64(t.Ranks))
+	put(uint64(len(t.Records)))
+	prev := sim.Cycle(0)
+	for i, rec := range t.Records {
+		if rec.Cycle < prev {
+			return fmt.Errorf("workload trace: record %d cycle %d precedes record %d cycle %d", i, rec.Cycle, i-1, prev)
+		}
+		if err := validateRecord(rec, t.Ranks); err != nil {
+			return fmt.Errorf("workload trace: record %d: %w", i, err)
+		}
+		put(uint64(rec.Cycle - prev))
+		prev = rec.Cycle
+		put(uint64(rec.Src))
+		put(uint64(rec.Dst))
+		bw.WriteByte(byte(rec.VNet))
+		bw.WriteByte(byte(rec.Class))
+		put(uint64(rec.Flits))
+	}
+	return bw.Flush()
+}
+
+func validateRecord(rec TraceRecord, ranks int) error {
+	switch {
+	case rec.Src < 0 || rec.Src >= ranks:
+		return fmt.Errorf("src rank %d out of %d", rec.Src, ranks)
+	case rec.Dst < 0 || rec.Dst >= ranks:
+		return fmt.Errorf("dst rank %d out of %d", rec.Dst, ranks)
+	case rec.Src == rec.Dst:
+		return fmt.Errorf("self-send at rank %d", rec.Src)
+	case rec.VNet < 0 || rec.VNet >= message.NumVNets:
+		return fmt.Errorf("invalid vnet %d", rec.VNet)
+	case rec.Class < message.ClassSyntheticCtrl || rec.Class > message.ClassDataAck:
+		return fmt.Errorf("invalid class %d", rec.Class)
+	case rec.Flits < 1 || rec.Flits > MaxTraceFlits:
+		return fmt.Errorf("flit count %d out of range [1, %d]", rec.Flits, MaxTraceFlits)
+	}
+	return nil
+}
+
+// ReadTrace parses and validates a binary trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload trace: short header: %w", err)
+	}
+	if string(magic[:4]) != traceMagic {
+		return nil, fmt.Errorf("workload trace: bad magic %q", magic[:4])
+	}
+	if magic[4] != traceVersion {
+		return nil, fmt.Errorf("workload trace: unsupported version %d (want %d)", magic[4], traceVersion)
+	}
+	get := func(what string, max uint64) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("workload trace: truncated %s: %w", what, err)
+		}
+		if v > max {
+			return 0, fmt.Errorf("workload trace: %s %d exceeds %d", what, v, max)
+		}
+		return v, nil
+	}
+	ranks, err := get("rank count", MaxTraceRanks)
+	if err != nil {
+		return nil, err
+	}
+	if ranks < 2 {
+		return nil, fmt.Errorf("workload trace: rank count %d below 2", ranks)
+	}
+	count, err := get("record count", 1<<32)
+	if err != nil {
+		return nil, err
+	}
+	cap64 := count
+	if cap64 > 4096 {
+		cap64 = 4096 // grow as records actually arrive; the count is untrusted
+	}
+	t := &Trace{Ranks: int(ranks), Records: make([]TraceRecord, 0, cap64)}
+	cycle := sim.Cycle(0)
+	for i := uint64(0); i < count; i++ {
+		d, err := get("cycle delta", 1<<40)
+		if err != nil {
+			return nil, err
+		}
+		cycle += sim.Cycle(d)
+		src, err := get("src rank", uint64(ranks))
+		if err != nil {
+			return nil, err
+		}
+		dst, err := get("dst rank", uint64(ranks))
+		if err != nil {
+			return nil, err
+		}
+		vnet, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("workload trace: truncated vnet: %w", err)
+		}
+		class, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("workload trace: truncated class: %w", err)
+		}
+		flits, err := get("flit count", MaxTraceFlits)
+		if err != nil {
+			return nil, err
+		}
+		rec := TraceRecord{
+			Cycle: cycle, Src: int(src), Dst: int(dst),
+			VNet: message.VNet(vnet), Class: message.Class(class), Flits: int(flits),
+		}
+		if err := validateRecord(rec, t.Ranks); err != nil {
+			return nil, fmt.Errorf("workload trace: record %d: %w", i, err)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("workload trace: trailing bytes after %d records", count)
+	}
+	return t, nil
+}
+
+// Replayer injects a recorded trace into a network open-loop: each
+// record's packet is enqueued at exactly its recorded cycle, in record
+// order. Replaying a trace against the configuration that produced it
+// reproduces the live run bit-for-bit — the network sees the identical
+// Enqueue sequence, so Stats and the final cycle match (the golden
+// replay test enforces this).
+type Replayer struct {
+	net   *network.Network
+	trace *Trace
+	cores []topology.NodeID
+	next  int
+}
+
+// NewReplayer builds a replayer; the trace's rank count must match the
+// network's core count.
+func NewReplayer(net *network.Network, t *Trace) (*Replayer, error) {
+	cores := net.Topo.Cores()
+	if t.Ranks != len(cores) {
+		return nil, fmt.Errorf("workload trace: recorded over %d ranks but the system has %d cores", t.Ranks, len(cores))
+	}
+	return &Replayer{net: net, trace: t, cores: cores}, nil
+}
+
+// Done reports whether every record has been injected.
+func (rp *Replayer) Done() bool { return rp.next >= len(rp.trace.Records) }
+
+// Tick injects the records scheduled for this cycle. Call once per cycle
+// before Network.Step.
+func (rp *Replayer) Tick(cycle sim.Cycle) {
+	for rp.next < len(rp.trace.Records) {
+		rec := &rp.trace.Records[rp.next]
+		if rec.Cycle > cycle {
+			return
+		}
+		p := rp.net.AllocPacket()
+		p.Src = rp.cores[rec.Src]
+		p.Dst = rp.cores[rec.Dst]
+		p.VNet = rec.VNet
+		p.Size = rec.Flits
+		p.Class = rec.Class
+		rp.net.NI(p.Src).Enqueue(p, cycle)
+		rp.next++
+	}
+}
+
+// Run ticks and steps for exactly the given number of cycles (drive it
+// to the live run's final cycle to compare Stats).
+func (rp *Replayer) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		rp.Tick(rp.net.Cycle())
+		rp.net.Step()
+	}
+}
