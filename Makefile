@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json bench-compare cover-json cover-compare collectives-golden profile figures figures-full demo fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-compare cover-json cover-compare collectives-golden router-golden profile figures figures-full demo fmt vet clean
 
 all: build test
 
@@ -27,10 +27,13 @@ bench:
 # axis (pooled vs unpooled, allocs/B per cycle, GC counts) in
 # BENCH_alloc.json; then all three kernels incl. the sharded parallel
 # one, with num_cpu/GOMAXPROCS context, in BENCH_parallel.json.
+# ... then the router-microarchitecture axis (iq/oq/voq at equal buffer
+# budget, three load levels) in BENCH_router.json.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_kernel.json
 	$(GO) run ./cmd/benchjson -alloc -out BENCH_alloc.json
 	$(GO) run ./cmd/benchjson -parallel -out BENCH_parallel.json
+	$(GO) run ./cmd/benchjson -router -out BENCH_router.json
 
 # Re-measure the kernels and diff against the committed baseline; fails
 # when any ns_per_cycle regresses beyond 10% (tune with
@@ -61,6 +64,12 @@ cover-compare:
 # collective engine, the schemes, or the experiment grid.
 collectives-golden:
 	$(GO) run ./cmd/figures -exp collectives -csv results -q
+
+# Regenerate the committed router-comparison golden CSV
+# (results/router_compare.csv); TestRouterCompareGolden pins it the same
+# way across kernels and worker counts.
+router-golden:
+	$(GO) run ./cmd/figures -exp router_compare -csv results -q
 
 # CPU + heap pprof of the saturation workload (every allocation
 # attributed). Inspect with `go tool pprof -sample_index=alloc_objects

@@ -13,6 +13,11 @@
 // machine the parallel kernel can only pay handoff overhead, and a
 // reader must not mistake that for a regression.
 //
+// With -router it measures the three router microarchitectures
+// (iq/oq/voq, equal buffer budget) under the active-set kernel at every
+// load, written as BENCH_router.json — the cost axis of the Microarch
+// interface and its variants.
+//
 // With -compare old.json new.json it diffs two BENCH_*.json files
 // produced by any of the modes above, prints per-measurement
 // ns_per_cycle deltas, and exits non-zero when any shared measurement
@@ -50,6 +55,7 @@ type measurement struct {
 	Load       string  `json:"load"`
 	Rate       float64 `json:"rate"`
 	Kernel     string  `json:"kernel"`
+	Router     string  `json:"router,omitempty"`
 	Cycles     int     `json:"cycles"`
 	NsPerCycle float64 `json:"ns_per_cycle"`
 }
@@ -117,9 +123,13 @@ type parallelReport struct {
 }
 
 func measure(kernel string, rate float64) (measurement, error) {
+	return measureArch(kernel, "", rate)
+}
+
+func measureArch(kernel, arch string, rate float64) (measurement, error) {
 	var buildErr error
 	r := testing.Benchmark(func(b *testing.B) {
-		kb, err := experiments.NewKernelBench(kernel, rate)
+		kb, err := experiments.NewKernelBenchArch(kernel, arch, rate)
 		if err != nil {
 			buildErr = err
 			b.Fatal(err)
@@ -132,10 +142,62 @@ func measure(kernel string, rate float64) (measurement, error) {
 	}
 	return measurement{
 		Kernel:     kernel,
+		Router:     arch,
 		Rate:       rate,
 		Cycles:     r.N,
 		NsPerCycle: float64(r.T.Nanoseconds()) / float64(r.N),
 	}, nil
+}
+
+// routerReport is the -router artifact: every router microarchitecture
+// at every load under the active-set kernel. Overhead maps load label to
+// each variant's ns-per-cycle relative to iq (>1 means the variant costs
+// more per simulated cycle).
+type routerReport struct {
+	Date         string                        `json:"date"`
+	GoVersion    string                        `json:"go_version"`
+	GOOS         string                        `json:"goos"`
+	GOARCH       string                        `json:"goarch"`
+	NumCPU       int                           `json:"num_cpu"`
+	Measurements []measurement                 `json:"measurements"`
+	Overhead     map[string]map[string]float64 `json:"overhead_vs_iq"`
+}
+
+func runRouter(out string) {
+	rep := routerReport{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Overhead:  map[string]map[string]float64{},
+	}
+	perLoad := map[string]map[string]float64{}
+	for _, l := range loads {
+		perLoad[l.Label] = map[string]float64{}
+		for _, arch := range experiments.RouterArchs() {
+			fmt.Fprintf(os.Stderr, "benchjson: %s load (rate %.2f), %s router...\n", l.Label, l.Rate, arch)
+			m, err := measureArch(network.KernelActive, arch, l.Rate)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			m.Load = l.Label
+			rep.Measurements = append(rep.Measurements, m)
+			perLoad[l.Label][arch] = m.NsPerCycle
+		}
+		rep.Overhead[l.Label] = map[string]float64{}
+		for _, arch := range experiments.RouterArchs() {
+			rep.Overhead[l.Label][arch] = perLoad[l.Label][arch] / perLoad[l.Label]["iq"]
+		}
+	}
+	writeJSON(out, rep)
+	for _, l := range loads {
+		fmt.Fprintf(os.Stderr, "  %-10s iq %8.0f ns/cycle, oq %8.0f ns/cycle (%.2fx), voq %8.0f ns/cycle (%.2fx)\n",
+			l.Label, perLoad[l.Label]["iq"],
+			perLoad[l.Label]["oq"], rep.Overhead[l.Label]["oq"],
+			perLoad[l.Label]["voq"], rep.Overhead[l.Label]["voq"])
+	}
 }
 
 // measureAlloc benchmarks per-cycle allocation behavior with pooling on
@@ -266,6 +328,7 @@ func runParallel(out string) {
 type compareMeasurement struct {
 	Load       string  `json:"load"`
 	Kernel     string  `json:"kernel"`
+	Router     string  `json:"router"`
 	Pooling    *bool   `json:"pooling"`
 	NsPerCycle float64 `json:"ns_per_cycle"`
 }
@@ -274,6 +337,9 @@ func (m compareMeasurement) key() string {
 	k := m.Load
 	if m.Kernel != "" {
 		k += "/" + m.Kernel
+	}
+	if m.Router != "" {
+		k += "/" + m.Router
 	}
 	if m.Pooling != nil {
 		k += fmt.Sprintf("/pooling=%v", *m.Pooling)
@@ -375,9 +441,10 @@ func writeJSON(path string, v any) {
 func main() {
 	alloc := flag.Bool("alloc", false, "measure allocations/GC (pooled vs unpooled) instead of kernel speed")
 	parallel := flag.Bool("parallel", false, "measure all three kernels (naive/active/parallel) with CPU context")
+	routerMode := flag.Bool("router", false, "measure the three router microarchitectures (iq/oq/voq) instead of kernels")
 	compare := flag.Bool("compare", false, "diff two BENCH_*.json files: benchjson -compare old.json new.json")
 	tolerance := flag.Float64("tolerance", 0.10, "with -compare, ns_per_cycle regression fraction that fails the diff")
-	out := flag.String("out", "", "output JSON path (default BENCH_kernel.json, BENCH_alloc.json with -alloc, BENCH_parallel.json with -parallel)")
+	out := flag.String("out", "", "output JSON path (default BENCH_kernel.json, BENCH_alloc.json with -alloc, BENCH_parallel.json with -parallel, BENCH_router.json with -router)")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
@@ -392,6 +459,8 @@ func main() {
 			*out = "BENCH_alloc.json"
 		case *parallel:
 			*out = "BENCH_parallel.json"
+		case *routerMode:
+			*out = "BENCH_router.json"
 		default:
 			*out = "BENCH_kernel.json"
 		}
@@ -402,6 +471,10 @@ func main() {
 	}
 	if *parallel {
 		runParallel(*out)
+		return
+	}
+	if *routerMode {
+		runRouter(*out)
 		return
 	}
 

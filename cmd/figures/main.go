@@ -11,7 +11,7 @@
 //
 // Experiments: table1 table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 fault_sweep load_balance tail_latency ablation collectives
-// (fig8/fig12/fig15 run together as "fullsystem").
+// router_compare (fig8/fig12/fig15 run together as "fullsystem").
 //
 // Simulation points fan out across a worker pool (-jobs, or UPP_JOBS,
 // defaulting to GOMAXPROCS); the output is bit-identical at any worker
@@ -36,8 +36,15 @@ func main() {
 		csv   = flag.String("csv", "", "directory to also write CSV files into")
 		quiet = flag.Bool("q", false, "suppress progress output")
 		jobs  = flag.Int("jobs", 0, "parallel simulation workers (0 = UPP_JOBS env or GOMAXPROCS); results are bit-identical at any value")
+		arch  = flag.String("router", "", "router microarchitecture for experiments that don't sweep it: iq, oq or voq (default: UPP_ROUTER env, then iq)")
 	)
 	flag.Parse()
+	if *arch != "" {
+		// Flag beats env: experiments build their configs with RouterArch
+		// unset, so routing the flag through the env gives every run the
+		// same flag > env > default resolution the library applies.
+		os.Setenv("UPP_ROUTER", *arch)
+	}
 
 	dur := experiments.QuickDurations()
 	if *full {
@@ -108,6 +115,9 @@ func main() {
 	}
 	if all || want["collectives"] {
 		add(experiments.Collectives(opts))
+	}
+	if all || want["router_compare"] {
+		add(experiments.RouterCompare(opts))
 	}
 	if all || want["ablation"] {
 		add(experiments.AblationBinding(dur, opts))

@@ -53,6 +53,7 @@ func main() {
 		maxCycles  = flag.Int("max-cycles", 400000, "workload completion horizon")
 		record     = flag.String("record", "", "with -workload: write the run's binary message trace to this file")
 		replay     = flag.String("replay", "", "replay a recorded trace open-loop instead of running a workload")
+		routerArch = flag.String("router", "", "router microarchitecture: iq | oq | voq (default $UPP_ROUTER, then iq)")
 	)
 	flag.Parse()
 
@@ -63,11 +64,11 @@ func main() {
 	sysCfg.BoundaryPerChiplet = *boundaries
 
 	if *replay != "" {
-		runReplay(sysCfg, *schemeName, *vcs, *seed, *maxCycles, *replay)
+		runReplay(sysCfg, *schemeName, *routerArch, *vcs, *seed, *maxCycles, *replay)
 		return
 	}
 	if *wl != "" {
-		runWorkload(sysCfg, *schemeName, *vcs, *seed, *maxCycles, *wl, *record, *asJSON)
+		runWorkload(sysCfg, *schemeName, *routerArch, *vcs, *seed, *maxCycles, *wl, *record, *asJSON)
 		return
 	}
 
@@ -86,6 +87,7 @@ func main() {
 		Faults:     *faults,
 		FaultSeed:  *seed * 31,
 		FaultPlan:  *faultPlan,
+		RouterArch: *routerArch,
 	}
 	spec.TraceLimit = *trace
 	spec.Adaptive = *adaptive
@@ -123,7 +125,7 @@ func main() {
 
 // runWorkload drives a closed-loop collective to completion (or the
 // horizon) and prints completion time plus scheme counters.
-func runWorkload(sysCfg topology.SystemConfig, schemeName string, vcs int, seed uint64, maxCycles int, wl, record string, asJSON bool) {
+func runWorkload(sysCfg topology.SystemConfig, schemeName, routerArch string, vcs int, seed uint64, maxCycles int, wl, record string, asJSON bool) {
 	spec := experiments.WorkloadSpec{
 		Topo:       sysCfg,
 		Scheme:     experiments.SchemeName(schemeName),
@@ -131,6 +133,7 @@ func runWorkload(sysCfg topology.SystemConfig, schemeName string, vcs int, seed 
 		VCsPerVNet: vcs,
 		Seed:       seed,
 		MaxCycles:  maxCycles,
+		RouterArch: routerArch,
 	}
 	var rec *workload.TraceRecorder
 	if record != "" {
@@ -186,7 +189,7 @@ func runWorkload(sysCfg topology.SystemConfig, schemeName string, vcs int, seed 
 
 // runReplay re-injects a recorded trace open-loop until every record is
 // in flight or delivered, then drains and prints the final statistics.
-func runReplay(sysCfg topology.SystemConfig, schemeName string, vcs int, seed uint64, maxCycles int, path string) {
+func runReplay(sysCfg topology.SystemConfig, schemeName, routerArch string, vcs int, seed uint64, maxCycles int, path string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -209,6 +212,7 @@ func runReplay(sysCfg topology.SystemConfig, schemeName string, vcs int, seed ui
 		cfg.Router.VCsPerVNet = vcs
 	}
 	cfg.Seed = seed + 1
+	cfg.RouterArch = routerArch
 	n, err := network.New(topo, cfg, scheme)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"testing"
+
+	"uppnoc/internal/core"
+	"uppnoc/internal/message"
+	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
+)
+
+// TestOQIntegrationDeadlockRecovery pins a property the router refactor
+// surfaced: the output-queued variant's full-speedup input stage packs
+// buffers differently from iq, and under scheme None with a single VC per
+// VNet that packing wedges the all-pairs workload into a genuine
+// integration-induced deadlock (the iq pipeline happens to squeak past
+// it). The test asserts both halves of the paper's claim on the oq
+// datapath: the extracted dependency cycle spans layers and contains an
+// upward packet, and attaching UPP recovers the exact same workload.
+func TestOQIntegrationDeadlockRecovery(t *testing.T) {
+	run := func(t *testing.T, sch network.Scheme) (*network.Network, int, error) {
+		topo := topology.MustBuild(topology.BaselineConfig())
+		cfg := network.DefaultConfig()
+		cfg.Router.VCsPerVNet = 1
+		cfg.RouterArch = "oq"
+		n, err := network.New(topo, cfg, sch)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		cores := n.Topo.Cores()
+		want := 0
+		for i, src := range cores {
+			for j := 0; j < len(cores); j += 7 {
+				if i == j {
+					continue
+				}
+				p := &message.Packet{Src: src, Dst: cores[j], VNet: message.VNet(want % message.NumVNets), Size: 1 + 4*(want%2)}
+				n.NI(src).Enqueue(p, 0)
+				want++
+			}
+		}
+		return n, want, n.Drain(200000, 20000)
+	}
+
+	t.Run("none_deadlocks", func(t *testing.T) {
+		n, _, err := run(t, network.None{})
+		if err == nil {
+			t.Skip("workload drained without a scheme; packing no longer wedges")
+		}
+		c := n.FindDependencyCycle()
+		if c == nil {
+			t.Fatalf("deadlocked but no dependency cycle found: %v", err)
+		}
+		if !c.SpansLayers() {
+			t.Errorf("cycle does not span layers: %s", c)
+		}
+		if !c.InvolvesUpwardPacket() {
+			t.Errorf("cycle has no stalled upward packet: %s", c)
+		}
+	})
+
+	t.Run("upp_recovers", func(t *testing.T) {
+		n, want, err := run(t, core.New(core.DefaultConfig()))
+		if err != nil {
+			t.Fatalf("drain under UPP: %v", err)
+		}
+		if int(n.Stats.EjectedPackets) != want {
+			t.Fatalf("ejected %d of %d", n.Stats.EjectedPackets, want)
+		}
+		if n.Stats.PopupsCompleted == 0 {
+			t.Errorf("UPP completed no popups; recovery untested")
+		}
+	})
+}

@@ -408,22 +408,22 @@ func (u *UPP) detect(cycle sim.Cycle) {
 
 // findStalledUpward scans r's input VCs round-robin for a stalled packet
 // whose next hop is an Up port, returning its location and front flit.
-func (u *UPP) findStalledUpward(r *router.Router, vnet message.VNet, rrStart int, cycle sim.Cycle) (topology.PortID, int, message.Flit) {
-	nports := len(r.Node.Ports)
-	nvc := r.Cfg.NumVCs()
+func (u *UPP) findStalledUpward(r router.Microarch, vnet message.VNet, rrStart int, cycle sim.Cycle) (topology.PortID, int, message.Flit) {
+	nports := r.NumPorts()
+	nvc := r.Config().NumVCs()
 	total := nports * nvc
 	for k := 1; k <= total; k++ {
 		idx := (rrStart + k) % total
 		port := topology.PortID(idx / nvc)
 		vcIdx := idx % nvc
-		if r.Cfg.VCVNet(vcIdx) != vnet {
+		if r.Config().VCVNet(vcIdx) != vnet {
 			continue
 		}
 		vc := r.VCAt(port, vcIdx)
 		if vc.Hold || vc.State == router.VCIdle {
 			continue
 		}
-		if vc.OutPort == topology.InvalidPort || r.Node.Ports[vc.OutPort].Dir != topology.Up {
+		if vc.OutPort == topology.InvalidPort || r.TopoNode().Ports[vc.OutPort].Dir != topology.Up {
 			continue
 		}
 		f, ok := vc.FrontReady(cycle)
@@ -439,7 +439,7 @@ func (u *UPP) findStalledUpward(r *router.Router, vnet message.VNet, rrStart int
 // queues its UPP_req. It may decline (returning without creating one)
 // when the packet's route is momentarily unsettled — the counter stays
 // above threshold and selection retries next cycle.
-func (u *UPP) startPopup(r *router.Router, ns *nodeState, vnet message.VNet, port topology.PortID, vcIdx int, f message.Flit, cycle sim.Cycle) {
+func (u *UPP) startPopup(r router.Microarch, ns *nodeState, vnet message.VNet, port topology.PortID, vcIdx int, f message.Flit, cycle sim.Cycle) {
 	path, settled, err := u.chasePath(r, port, vcIdx, f.Pkt)
 	if err != nil {
 		panic(fmt.Sprintf("upp: path for popup of pkt %d: %v", f.Pkt.ID, err))
@@ -451,7 +451,7 @@ func (u *UPP) startPopup(r *router.Router, ns *nodeState, vnet message.VNet, por
 	p := &popup{
 		id:         u.nextID,
 		vnet:       vnet,
-		origin:     r.ID,
+		origin:     r.NodeID(),
 		pkt:        f.Pkt,
 		pktGen:     f.Pkt.Generation(),
 		dst:        f.Pkt.Dst,
@@ -464,12 +464,12 @@ func (u *UPP) startPopup(r *router.Router, ns *nodeState, vnet message.VNet, por
 		stage:      stageReq,
 	}
 	ns.entry[vnet] = p
-	ns.rr[vnet] = int(port)*r.Cfg.NumVCs() + vcIdx
+	ns.rr[vnet] = int(port)*r.Config().NumVCs() + vcIdx
 	chiplet := u.net.Topo.Node(f.Pkt.Dst).Chiplet
 	u.tokens[chiplet][vnet] = p.id
 	u.popups[p.id] = p
 	u.net.Stats.UpwardPackets++
-	u.net.Trace("upp", r.ID, "popup %d: selected upward pkt%d (%s) toward %d",
+	u.net.Trace("upp", r.NodeID(), "popup %d: selected upward pkt%d (%s) toward %d",
 		p.id, f.Pkt.ID, vnet, f.Pkt.Dst)
 }
 
@@ -483,17 +483,17 @@ func (u *UPP) startPopup(r *router.Router, ns *nodeState, vnet message.VNet, por
 // settled is false when the chain is momentarily indeterminate (a head in
 // flight or not yet route-computed); the caller retries next cycle — a
 // genuinely deadlocked packet settles and stays settled.
-func (u *UPP) chasePath(r *router.Router, port topology.PortID, vcIdx int, pkt *message.Packet) (path []hop, settled bool, err error) {
+func (u *UPP) chasePath(r router.Microarch, port topology.PortID, vcIdx int, pkt *message.Packet) (path []hop, settled bool, err error) {
 	topo := u.net.Topo
 	tracked := r.VCAt(port, vcIdx)
-	path = []hop{{node: r.ID, inPort: topology.InvalidPort, outPort: tracked.OutPort}}
+	path = []hop{{node: r.NodeID(), inPort: topology.InvalidPort, outPort: tracked.OutPort}}
 	cur, curIn := r.Neighbor(tracked.OutPort)
 	curVC := tracked.OutVC // -1 when the packet is Waiting (nothing transmitted)
 
 	// Phase 1: follow the allocation chain through the chiplet.
 	for curVC >= 0 {
 		if len(path) > topo.NumNodes() {
-			return nil, false, fmt.Errorf("allocation chain loop from %d to %d", r.ID, pkt.Dst)
+			return nil, false, fmt.Errorf("allocation chain loop from %d to %d", r.NodeID(), pkt.Dst)
 		}
 		rr := u.net.Router(cur)
 		vc := rr.VCAt(curIn, int(curVC))
@@ -531,11 +531,11 @@ func (u *UPP) chasePath(r *router.Router, port topology.PortID, vcIdx int, pkt *
 		IngressInterposer: pkt.IngressInterposer,
 		EgressBoundary:    pkt.EgressBoundary,
 		RouteLayer:        int16(topology.InterposerChiplet),
-		LayerEntryX:       int16(topo.Node(r.ID).X),
+		LayerEntryX:       int16(topo.Node(r.NodeID()).X),
 	}
 	for i := 0; ; i++ {
 		if i > topo.NumNodes() {
-			return nil, false, fmt.Errorf("routing loop from %d to %d", r.ID, pkt.Dst)
+			return nil, false, fmt.Errorf("routing loop from %d to %d", r.NodeID(), pkt.Dst)
 		}
 		out, rerr := u.net.Route(cur, curIn, pseudo)
 		if rerr != nil {

@@ -33,6 +33,9 @@ type ChaosSpec struct {
 	LoadCycles int
 	DrainMax   int
 	StallLimit int
+	// RouterArch selects the router microarchitecture ("iq", "oq",
+	// "voq"); empty defers to UPP_ROUTER and then the iq default.
+	RouterArch string
 }
 
 // ChaosOutcome is the observable result of a chaos run. Two runs of the
@@ -69,6 +72,7 @@ func RunChaos(spec ChaosSpec) (ChaosOutcome, error) {
 	}
 	cfg := network.DefaultConfig()
 	cfg.Kernel = spec.Kernel
+	cfg.RouterArch = spec.RouterArch
 	cfg.Seed = spec.Seed + 1
 	cfg.UseUpDown = true // link flaps must not strand XY-routed traffic conceptually; up*/down* tolerates faults
 	n, err := network.New(topo, cfg, scheme)

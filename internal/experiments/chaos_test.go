@@ -37,20 +37,26 @@ func TestChaosSoak(t *testing.T) {
 		plan     faults.Plan
 		rate     float64
 		workload string
+		arch     string
 	}{
-		{"upp_flaps", SchemeUPP, flapsPlan, 0.06, ""},
-		{"upp_signal_loss", SchemeUPP, lossPlan, 0.06, ""},
-		{"upp_signal_loss_heavy", SchemeUPP, heavyLossPlan, 0.12, ""},
-		{"upp_eject_stalls", SchemeUPP, stallsPlan, 0.06, ""},
-		{"upp_mayhem", SchemeUPP, mayhemPlan, 0.06, ""},
-		{"remote_control_flaps", SchemeRemoteControl, flapsPlan, 0.06, ""},
-		{"remote_control_stalls", SchemeRemoteControl, stallsPlan, 0.06, ""},
-		{"none_flaps", SchemeNone, flapsPlan, 0.06, ""},
+		{"upp_flaps", SchemeUPP, flapsPlan, 0.06, "", ""},
+		{"upp_signal_loss", SchemeUPP, lossPlan, 0.06, "", ""},
+		{"upp_signal_loss_heavy", SchemeUPP, heavyLossPlan, 0.12, "", ""},
+		{"upp_eject_stalls", SchemeUPP, stallsPlan, 0.06, "", ""},
+		{"upp_mayhem", SchemeUPP, mayhemPlan, 0.06, "", ""},
+		{"remote_control_flaps", SchemeRemoteControl, flapsPlan, 0.06, "", ""},
+		{"remote_control_stalls", SchemeRemoteControl, stallsPlan, 0.06, "", ""},
+		{"none_flaps", SchemeNone, flapsPlan, 0.06, "", ""},
 		// Closed-loop collective legs: the dependency-gated engine keeps
 		// injecting while links flap and signals drop; stopping mid-ring
 		// strands in-flight chunks the drain must still deliver.
-		{"upp_collective_flaps", SchemeUPP, flapsPlan, 0, "ring_allreduce"},
-		{"upp_collective_mayhem", SchemeUPP, mayhemPlan, 0, "all_to_all"},
+		{"upp_collective_flaps", SchemeUPP, flapsPlan, 0, "ring_allreduce", ""},
+		{"upp_collective_mayhem", SchemeUPP, mayhemPlan, 0, "all_to_all", ""},
+		// Router-variant legs: port-down masks, drain pausing (oq) and
+		// per-output allocation (voq) under flapping links must stay
+		// panic-free, fully accounted and kernel-identical too.
+		{"upp_flaps_oq", SchemeUPP, flapsPlan, 0.04, "", "oq"},
+		{"upp_mayhem_voq", SchemeUPP, mayhemPlan, 0.06, "", "voq"},
 	}
 	kernels := []string{network.KernelNaive, network.KernelActive, network.KernelParallel}
 	for _, tc := range cases {
@@ -65,6 +71,7 @@ func TestChaosSoak(t *testing.T) {
 					Plan:       tc.plan,
 					Rate:       tc.rate,
 					Workload:   tc.workload,
+					RouterArch: tc.arch,
 					Seed:       97,
 					LoadCycles: 2500,
 					DrainMax:   15000,

@@ -28,6 +28,9 @@ type WorkloadSpec struct {
 	// Recorder, when non-nil, observes every injected message (the trace
 	// record frontend).
 	Recorder workload.Recorder
+	// RouterArch selects the router microarchitecture ("iq", "oq",
+	// "voq"); empty defers to UPP_ROUTER and then the iq default.
+	RouterArch string
 }
 
 // WorkloadPoint is the measured outcome of one collective run.
@@ -67,6 +70,7 @@ func RunWorkload(spec WorkloadSpec) (WorkloadPoint, error) {
 		cfg.Router.VCsPerVNet = spec.VCsPerVNet
 	}
 	cfg.Seed = spec.Seed + 1
+	cfg.RouterArch = spec.RouterArch
 	n, err := network.New(topo, cfg, scheme)
 	if err != nil {
 		return WorkloadPoint{}, err

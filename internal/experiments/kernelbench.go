@@ -30,12 +30,25 @@ func NewKernelBench(kernel string, rate float64) (*KernelBench, error) {
 // (cmd/benchjson's BENCH_alloc.json) and the pooled-vs-unpooled
 // equivalence tests.
 func NewKernelBenchPool(kernel string, rate float64, disablePool bool) (*KernelBench, error) {
+	return newKernelBench(kernel, "", rate, disablePool)
+}
+
+// NewKernelBenchArch is NewKernelBench with an explicit router
+// microarchitecture ("iq", "oq", "voq") — the router axis of
+// cmd/benchjson's BENCH_router.json and the per-arch steady-state
+// allocation pins.
+func NewKernelBenchArch(kernel, arch string, rate float64) (*KernelBench, error) {
+	return newKernelBench(kernel, arch, rate, false)
+}
+
+func newKernelBench(kernel, arch string, rate float64, disablePool bool) (*KernelBench, error) {
 	topo, err := topology.Build(topology.BaselineConfig())
 	if err != nil {
 		return nil, err
 	}
 	cfg := network.DefaultConfig()
 	cfg.Kernel = kernel
+	cfg.RouterArch = arch
 	cfg.DisablePool = disablePool
 	n, err := network.New(topo, cfg, core.New(core.DefaultConfig()))
 	if err != nil {

@@ -46,6 +46,9 @@ type RunSpec struct {
 	// TraceLimit, when > 0, prints the first N simulator events to
 	// stderr.
 	TraceLimit int
+	// RouterArch selects the router microarchitecture ("iq", "oq",
+	// "voq"); empty defers to UPP_ROUTER and then the iq default.
+	RouterArch string
 }
 
 // Point is the measured outcome of one run.
@@ -115,6 +118,7 @@ func Run(spec RunSpec) (Point, error) {
 		}
 	}
 	cfg.Seed = spec.Seed + 1
+	cfg.RouterArch = spec.RouterArch
 	cfg.UseUpDown = spec.UseUpDown || spec.Faults > 0 || spec.FaultsPerLayer > 0
 	cfg.Adaptive = spec.Adaptive
 	n, err := network.New(topo, cfg, scheme)

@@ -51,7 +51,7 @@ func (c *DependencyCycle) InvolvesUpwardPacket() bool {
 		if vc.OutPort == topology.InvalidPort {
 			continue
 		}
-		if r.Node.Ports[vc.OutPort].Dir == topology.Up {
+		if r.TopoNode().Ports[vc.OutPort].Dir == topology.Up {
 			return true
 		}
 	}
@@ -83,7 +83,7 @@ func (c *DependencyCycle) String() string {
 		if f, _, ok := vc.Front(); ok {
 			dir := "?"
 			if vc.OutPort != topology.InvalidPort {
-				dir = r.Node.Ports[vc.OutPort].Dir.String()
+				dir = r.TopoNode().Ports[vc.OutPort].Dir.String()
 			}
 			desc = fmt.Sprintf("pkt%d(%s)->%s", f.Pkt.ID, f.Pkt.VNet, dir)
 		}
@@ -120,17 +120,16 @@ func (n *Network) FindDependencyCycle() *DependencyCycle {
 					continue
 				}
 				from := key{node.ID, topology.PortID(pi), vi}
-				out := &r.Out[vc.OutPort]
 				nb, nbPort := r.Neighbor(vc.OutPort)
 				switch vc.State {
 				case router.VCActive:
-					if out.Credits[vc.OutVC] <= 0 {
+					if r.OutCredits(vc.OutPort, int(vc.OutVC)) <= 0 {
 						adj[from] = append(adj[from], key{nb, nbPort, int(vc.OutVC)})
 					}
 				case router.VCWaiting:
 					for k := 0; k < n.Cfg.Router.VCsPerVNet; k++ {
 						dv := n.Cfg.Router.VCIndex(f.Pkt.VNet, k)
-						if out.Busy[dv] || out.Credits[dv] <= 0 {
+						if r.OutBusy(vc.OutPort, dv) || r.OutCredits(vc.OutPort, dv) <= 0 {
 							adj[from] = append(adj[from], key{nb, nbPort, dv})
 						}
 					}

@@ -15,14 +15,19 @@ import (
 // the datapath or a scheme — tests and the verification tooling call this
 // after every workload.
 func (n *Network) CheckQuiescent() error {
-	depth := int16(n.Cfg.Router.BufferDepth)
 	for i := range n.Topo.Nodes {
 		node := &n.Topo.Nodes[i]
 		r := n.Routers[node.ID]
+		// The effective per-VC depth is what credits count against —
+		// smaller than the budget depth for buffer-splitting variants.
+		depth := int16(r.Config().BufferDepth)
 		if r.Buffered() != 0 {
 			return fmt.Errorf("network: node %d still buffers %d flits", node.ID, r.Buffered())
 		}
 		for pi := range node.Ports {
+			if staged := r.StagedCount(topology.PortID(pi)); staged != 0 {
+				return fmt.Errorf("network: node %d out[%d] still stages %d flits", node.ID, pi, staged)
+			}
 			for vi := 0; vi < n.Cfg.Router.NumVCs(); vi++ {
 				vc := r.VCAt(topology.PortID(pi), vi)
 				if vc.State != router.VCIdle || !vc.Empty() {
@@ -34,11 +39,10 @@ func (n *Network) CheckQuiescent() error {
 				if pi == 0 {
 					continue
 				}
-				o := &r.Out[pi]
-				if o.Credits[vi] != depth {
-					return fmt.Errorf("network: node %d out[%d] vc%d credits %d != %d", node.ID, pi, vi, o.Credits[vi], depth)
+				if c := r.OutCredits(topology.PortID(pi), vi); c != depth {
+					return fmt.Errorf("network: node %d out[%d] vc%d credits %d != %d", node.ID, pi, vi, c, depth)
 				}
-				if o.Busy[vi] {
+				if r.OutBusy(topology.PortID(pi), vi) {
 					return fmt.Errorf("network: node %d out[%d] vc%d allocation leaked", node.ID, pi, vi)
 				}
 			}

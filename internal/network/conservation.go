@@ -10,6 +10,7 @@ import (
 // link at any instant, not just at quiescence:
 //
 //	upstream credits + credit events in flight
+//	  + upstream staged flits (output-queued variants)
 //	  + downstream buffered flits + flit events in flight  == buffer depth
 //
 // for every (output port, VC). A violation means a flit or credit was
@@ -17,11 +18,14 @@ import (
 // throughput results long before anything visibly breaks. Stress tests
 // call this every few hundred cycles.
 //
+// Output-queued routers consume the downstream credit when they stage a
+// flit, so flits sitting in a staging FIFO hold credits the same way
+// flits in flight do — StagedFor supplies that term (zero for iq/voq).
+//
 // Flits moved out-of-band by schemes (popup latches, boundary buffers)
 // have already returned their buffer slot via PopFront's credit, so they
 // do not appear in the equation.
 func (n *Network) CheckConservation() error {
-	depth := n.Cfg.Router.BufferDepth
 	nvc := n.Cfg.Router.NumVCs()
 
 	// Tally in-flight events by destination.
@@ -50,17 +54,21 @@ func (n *Network) CheckConservation() error {
 		for pi := 1; pi < len(node.Ports); pi++ {
 			pt := &node.Ports[pi]
 			down := n.Routers[pt.Neighbor]
+			// The law balances against the downstream input VC's actual
+			// depth (the effective config, not the budget config).
+			depth := down.Config().BufferDepth
 			for vi := 0; vi < nvc; vi++ {
-				credits := int(r.Out[pi].Credits[vi])
+				credits := int(r.OutCredits(topology.PortID(pi), vi))
+				staged := r.StagedFor(topology.PortID(pi), vi)
 				buffered := down.VCAt(pt.NeighborPort, vi).Len()
 				inFlight := flitsInFlight[key{pt.Neighbor, pt.NeighborPort, int8(vi)}]
 				creditBack := creditsInFlight[key{node.ID, topology.PortID(pi), int8(vi)}]
-				total := credits + buffered + inFlight + creditBack
+				total := credits + staged + buffered + inFlight + creditBack
 				if total != depth {
 					return fmt.Errorf(
-						"network: conservation violated on node%d.out[%d].vc%d -> node%d.in[%d]: credits %d + buffered %d + flits-in-flight %d + credits-in-flight %d = %d, want %d",
+						"network: conservation violated on node%d.out[%d].vc%d -> node%d.in[%d]: credits %d + staged %d + buffered %d + flits-in-flight %d + credits-in-flight %d = %d, want %d",
 						node.ID, pi, vi, pt.Neighbor, pt.NeighborPort,
-						credits, buffered, inFlight, creditBack, total, depth)
+						credits, staged, buffered, inFlight, creditBack, total, depth)
 				}
 			}
 		}

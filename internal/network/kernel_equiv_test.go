@@ -15,9 +15,10 @@ import (
 	"uppnoc/internal/workload"
 )
 
-// kernelRun drives one fixed workload under the given kernel and returns
-// the full flit-level trace plus the final statistics.
-func kernelRun(t *testing.T, kernel, scheme string, rate float64, cycles int, seed uint64) (string, network.Stats) {
+// kernelRun drives one fixed workload under the given kernel and router
+// arch ("" = default iq) and returns the full flit-level trace plus the
+// final statistics.
+func kernelRun(t *testing.T, kernel, arch, scheme string, rate float64, cycles int, seed uint64) (string, network.Stats) {
 	t.Helper()
 	topo := topology.MustBuild(topology.BaselineConfig())
 	var (
@@ -41,6 +42,7 @@ func kernelRun(t *testing.T, kernel, scheme string, rate float64, cycles int, se
 	}
 	cfg := network.DefaultConfig()
 	cfg.Kernel = kernel
+	cfg.RouterArch = arch
 	n, err := network.New(topo, cfg, sch)
 	if err != nil {
 		t.Fatal(err)
@@ -64,22 +66,34 @@ func TestKernelTraceEquality(t *testing.T) {
 	}
 	cases := []struct {
 		scheme string
+		arch   string
 		rate   float64
 		cycles int
 	}{
-		{"none", 0.05, 6000},
-		{"composable", 0.05, 6000},
-		{"remote_control", 0.05, 6000},
-		{"upp", 0.12, 10000}, // past the knee: popups fire
+		{"none", "", 0.05, 6000},
+		{"composable", "", 0.05, 6000},
+		{"remote_control", "", 0.05, 6000},
+		{"upp", "", 0.12, 10000}, // past the knee: popups fire
+		// The oq and voq router variants must honor the same shard
+		// concurrency contract; the UPP overload case exercises their
+		// Step, drain and popup interplay under all kernels.
+		{"upp", "oq", 0.12, 10000},
+		{"upp", "voq", 0.12, 10000},
+		{"none", "oq", 0.05, 6000},
+		{"none", "voq", 0.05, 6000},
 	}
 	for _, tc := range cases {
-		t.Run(tc.scheme, func(t *testing.T) {
-			activeTrace, activeStats := kernelRun(t, network.KernelActive, tc.scheme, tc.rate, tc.cycles, 42)
+		name := tc.scheme
+		if tc.arch != "" {
+			name += "_" + tc.arch
+		}
+		t.Run(name, func(t *testing.T) {
+			activeTrace, activeStats := kernelRun(t, network.KernelActive, tc.arch, tc.scheme, tc.rate, tc.cycles, 42)
 			if tc.scheme == "upp" && activeStats.UpwardPackets == 0 {
 				t.Error("UPP case never detected an upward packet; raise the rate so the popup path is exercised")
 			}
 			for _, kernel := range []string{network.KernelNaive, network.KernelParallel} {
-				trace, stats := kernelRun(t, kernel, tc.scheme, tc.rate, tc.cycles, 42)
+				trace, stats := kernelRun(t, kernel, tc.arch, tc.scheme, tc.rate, tc.cycles, 42)
 				if activeStats != stats {
 					t.Errorf("stats diverge:\nactive:   %+v\n%-8s: %+v", activeStats, kernel, stats)
 				}

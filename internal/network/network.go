@@ -35,6 +35,12 @@ const (
 // Config parameterizes a network instance.
 type Config struct {
 	Router router.Config
+	// RouterArch selects the router microarchitecture: router.ArchIQ (the
+	// default when empty), router.ArchOQ or router.ArchVOQ. When empty,
+	// the UPP_ROUTER environment variable is consulted before falling
+	// back to the input-queued router. All variants are normalized to the
+	// same per-port buffer budget (router.BufferBudget).
+	RouterArch string
 	// EjectionDepth is the per-VNet ejection queue capacity in packets.
 	EjectionDepth int
 	// Seed drives all randomized decisions (VC selection, traffic).
@@ -89,6 +95,18 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("network: unknown kernel %q (want %q, %q or %q)", c.Kernel, KernelActive, KernelNaive, KernelParallel)
 	}
+	switch c.RouterArch {
+	case "", router.ArchIQ, router.ArchOQ, router.ArchVOQ:
+		if c.RouterArch != "" {
+			// Arch-specific feasibility (oq needs a splittable depth and
+			// no VCT) surfaces here rather than mid-construction.
+			if _, err := router.LayoutFor(c.RouterArch, c.Router); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("network: unknown router arch %q (want %q, %q or %q)", c.RouterArch, router.ArchIQ, router.ArchOQ, router.ArchVOQ)
+	}
 	if c.Shards < 0 {
 		return fmt.Errorf("network: Shards must be >= 0")
 	}
@@ -127,7 +145,7 @@ const wheelSize = 128
 type Network struct {
 	Topo    *topology.Topology
 	Cfg     Config
-	Routers []*router.Router
+	Routers []router.Microarch
 	NIs     []*NI
 
 	scheme        Scheme
@@ -152,6 +170,7 @@ type Network struct {
 	// ascending NodeID order — the naive kernel's order — so the two
 	// kernels are bit-identical.
 	kernel       string
+	arch         string
 	routerAwake  []bool
 	niAwake      []bool
 	awakeRouters int
@@ -201,6 +220,21 @@ func New(t *topology.Topology, cfg Config, scheme Scheme) (*Network, error) {
 		return nil, fmt.Errorf("network: unknown kernel %q (from UPP_KERNEL; want %q, %q or %q)",
 			n.kernel, KernelActive, KernelNaive, KernelParallel)
 	}
+	n.arch = cfg.RouterArch
+	if n.arch == "" {
+		n.arch = os.Getenv("UPP_ROUTER")
+	}
+	switch n.arch {
+	case "":
+		n.arch = router.ArchIQ
+	case router.ArchIQ, router.ArchOQ, router.ArchVOQ:
+		if _, err := router.LayoutFor(n.arch, cfg.Router); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("network: unknown router arch %q (from UPP_ROUTER; want %q, %q or %q)",
+			n.arch, router.ArchIQ, router.ArchOQ, router.ArchVOQ)
+	}
 	n.pooling = !cfg.DisablePool && os.Getenv("UPP_NOPOOL") == ""
 	n.routerAwake = make([]bool, t.NumNodes())
 	n.niAwake = make([]bool, t.NumNodes())
@@ -231,8 +265,8 @@ func New(t *topology.Topology, cfg Config, scheme Scheme) (*Network, error) {
 				credits := 0
 				for k := 0; k < cfg.Router.VCsPerVNet; k++ {
 					dv := cfg.Router.VCIndex(p.VNet, k)
-					if !r.Out[cand].Busy[dv] {
-						credits += int(r.Out[cand].Credits[dv])
+					if !r.OutBusy(cand, dv) {
+						credits += int(r.OutCredits(cand, dv))
 					}
 				}
 				if credits > bestCredits {
@@ -249,12 +283,18 @@ func New(t *topology.Topology, cfg Config, scheme Scheme) (*Network, error) {
 	route := func(cur topology.NodeID, inPort topology.PortID, p *message.Packet) (topology.PortID, error) {
 		return n.Route(cur, inPort, p)
 	}
-	n.Routers = make([]*router.Router, t.NumNodes())
+	n.Routers = make([]router.Microarch, t.NumNodes())
 	n.NIs = make([]*NI, t.NumNodes())
 	for i := range t.Nodes {
 		node := &t.Nodes[i]
-		r := router.New(node, cfg.Router, n, nil, route, n.rng.Split(uint64(i)))
-		ni := newNI(n, node.ID, r, cfg.Router, cfg.EjectionDepth)
+		r, err := router.NewMicroarch(n.arch, node, cfg.Router, n, nil, route, n.rng.Split(uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		// The NI mirrors the router's effective input-side config: its
+		// credit counters must match the local port's actual VC depth,
+		// which buffer-splitting variants reduce below the budget depth.
+		ni := newNI(n, node.ID, r, r.Config(), cfg.EjectionDepth)
 		r.SetLocal(ni)
 		n.Routers[i] = r
 		n.NIs[i] = ni
@@ -397,11 +437,15 @@ func (n *Network) deliverLocalFlit(node topology.NodeID, vc int8, f message.Flit
 func (n *Network) NI(id topology.NodeID) *NI { return n.NIs[id] }
 
 // Router returns the router at node id.
-func (n *Network) Router(id topology.NodeID) *router.Router { return n.Routers[id] }
+func (n *Network) Router(id topology.NodeID) router.Microarch { return n.Routers[id] }
 
 // Kernel returns the resolved cycle-kernel name (KernelActive,
 // KernelNaive or KernelParallel).
 func (n *Network) Kernel() string { return n.kernel }
+
+// RouterArch returns the resolved router microarchitecture name
+// (router.ArchIQ, router.ArchOQ or router.ArchVOQ).
+func (n *Network) RouterArch() string { return n.arch }
 
 // RouterActive reports whether the router at id is in the active set this
 // cycle (always true under the naive kernel). Schemes use it to skip

@@ -96,13 +96,14 @@ func (n *Network) Throughput() float64 {
 func (n *Network) RouterStats() router.Stats {
 	var s router.Stats
 	for _, r := range n.Routers {
-		s.BufferWrites += r.Stats.BufferWrites
-		s.BufferReads += r.Stats.BufferReads
-		s.CrossbarTravs += r.Stats.CrossbarTravs
-		s.LinkTravs += r.Stats.LinkTravs
-		s.SARequests += r.Stats.SARequests
-		s.SAGrants += r.Stats.SAGrants
-		s.UpFlits += r.Stats.UpFlits
+		rs := r.StatsSnapshot()
+		s.BufferWrites += rs.BufferWrites
+		s.BufferReads += rs.BufferReads
+		s.CrossbarTravs += rs.CrossbarTravs
+		s.LinkTravs += rs.LinkTravs
+		s.SARequests += rs.SARequests
+		s.SAGrants += rs.SAGrants
+		s.UpFlits += rs.UpFlits
 	}
 	return s
 }

@@ -241,8 +241,9 @@ func (s *Scheme) refreshHolds(b *boundary, _ sim.Cycle) {
 		r.VCAt(h.port, h.vc).Hold = false
 	}
 	b.held = b.held[:0]
-	for pi := range r.In {
-		for vi := range r.In[pi].VCs {
+	nvc := s.net.Cfg.Router.NumVCs()
+	for pi := 0; pi < r.NumPorts(); pi++ {
+		for vi := 0; vi < nvc; vi++ {
 			vc := r.VCAt(topology.PortID(pi), vi)
 			f, _, ok := vc.Front()
 			if !ok || !s.isEgressHere(b, f.Pkt) {
@@ -263,9 +264,10 @@ func (s *Scheme) isEgressHere(b *boundary, p *message.Packet) bool {
 // pass-through.
 func (s *Scheme) absorb(b *boundary, cycle sim.Cycle) {
 	r := s.net.Router(b.node)
-	for pi := range r.In {
+	nvc := s.net.Cfg.Router.NumVCs()
+	for pi := 0; pi < r.NumPorts(); pi++ {
 		port := topology.PortID(pi)
-		for vi := range r.In[pi].VCs {
+		for vi := 0; vi < nvc; vi++ {
 			vc := r.VCAt(port, vi)
 			f, ok := vc.FrontReady(cycle)
 			if !ok || !s.isEgressHere(b, f.Pkt) {
@@ -291,7 +293,7 @@ func (s *Scheme) absorb(b *boundary, cycle sim.Cycle) {
 // down vertical link, keeping wormhole ordering per VNet.
 func (s *Scheme) sendDown(b *boundary, cycle sim.Cycle) {
 	r := s.net.Router(b.node)
-	down := r.Node.PortTo(topology.Down)
+	down := r.TopoNode().PortTo(topology.Down)
 	if down == topology.InvalidPort || r.OutputClaimed(down, cycle) {
 		return
 	}
