@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json bench-compare cover-json cover-compare collectives-golden router-golden profile figures figures-full demo fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-scale bench-compare cover-json cover-compare collectives-golden router-golden profile figures figures-full demo fmt vet clean
 
 all: build test
 
@@ -34,6 +34,13 @@ bench-json:
 	$(GO) run ./cmd/benchjson -alloc -out BENCH_alloc.json
 	$(GO) run ./cmd/benchjson -parallel -out BENCH_parallel.json
 	$(GO) run ./cmd/benchjson -router -out BENCH_router.json
+
+# Measure the scale-out ladder (512/2048/8192 routers, active kernel plus
+# parallel at 1/2/4/8 shards) in BENCH_scale.json. The shards=4-beats-
+# shards=1 claim only holds on multicore hardware; num_cpu/GOMAXPROCS are
+# recorded in the file so a single-core measurement is self-describing.
+bench-scale:
+	$(GO) run ./cmd/benchjson -scale -out BENCH_scale.json
 
 # Re-measure the kernels and diff against the committed baseline; fails
 # when any ns_per_cycle regresses beyond 10% (tune with

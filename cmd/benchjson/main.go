@@ -18,6 +18,12 @@
 // load, written as BENCH_router.json — the cost axis of the Microarch
 // interface and its variants.
 //
+// With -scale it measures the parallel kernel's shard-scaling curves
+// (shards 1/2/4/8, active kernel as the sequential reference) on the
+// small/large/huge scale-out systems, written as BENCH_scale.json — the
+// regime where per-cycle work per shard is finally large enough for the
+// two-phase kernel to show real multicore speedup.
+//
 // With -compare old.json new.json it diffs two BENCH_*.json files
 // produced by any of the modes above, prints per-measurement
 // ns_per_cycle deltas, and exits non-zero when any shared measurement
@@ -32,11 +38,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"uppnoc/internal/experiments"
 	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
 )
 
 // load pairs a label with the offered rate the benchmark injects at.
@@ -52,10 +60,19 @@ var loads = []load{
 }
 
 type measurement struct {
-	Load       string  `json:"load"`
-	Rate       float64 `json:"rate"`
-	Kernel     string  `json:"kernel"`
-	Router     string  `json:"router,omitempty"`
+	Load   string  `json:"load"`
+	Rate   float64 `json:"rate"`
+	Kernel string  `json:"kernel"`
+	Router string  `json:"router,omitempty"`
+	// Topology and NumRouters identify the simulated system ("baseline"
+	// for the 60-node paper system, or a scale preset), so measurements
+	// from different system sizes are never silently compared.
+	Topology   string `json:"topology"`
+	NumRouters int    `json:"num_routers"`
+	// Shards is the parallel-kernel shard count, recorded per-row only by
+	// the -scale mode (the -parallel artifact records it at the top
+	// level, where all rows share one resolved value).
+	Shards     int     `json:"shards,omitempty"`
 	Cycles     int     `json:"cycles"`
 	NsPerCycle float64 `json:"ns_per_cycle"`
 }
@@ -126,6 +143,12 @@ func measure(kernel string, rate float64) (measurement, error) {
 	return measureArch(kernel, "", rate)
 }
 
+// baselineRouters caches the baseline system's node count for the
+// topology/num_routers columns of the non-scale modes.
+var baselineRouters = sync.OnceValue(func() int {
+	return len(topology.MustBuild(topology.BaselineConfig()).Nodes)
+})
+
 func measureArch(kernel, arch string, rate float64) (measurement, error) {
 	var buildErr error
 	r := testing.Benchmark(func(b *testing.B) {
@@ -144,6 +167,35 @@ func measureArch(kernel, arch string, rate float64) (measurement, error) {
 		Kernel:     kernel,
 		Router:     arch,
 		Rate:       rate,
+		Topology:   "baseline",
+		NumRouters: baselineRouters(),
+		Cycles:     r.N,
+		NsPerCycle: float64(r.T.Nanoseconds()) / float64(r.N),
+	}, nil
+}
+
+// measureScale benchmarks one scale system under the given kernel and
+// shard count — the cell of the BENCH_scale.json shard-scaling curves.
+func measureScale(kernel string, sys experiments.ScaleSystem, shards int, rate float64) (measurement, error) {
+	var buildErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		kb, err := experiments.NewScaleBench(kernel, sys.Config, shards, rate)
+		if err != nil {
+			buildErr = err
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		kb.Run(b.N)
+	})
+	if buildErr != nil {
+		return measurement{}, buildErr
+	}
+	return measurement{
+		Kernel:     kernel,
+		Rate:       rate,
+		Topology:   sys.Label,
+		NumRouters: sys.Config.NumRouters(),
+		Shards:     shards,
 		Cycles:     r.N,
 		NsPerCycle: float64(r.T.Nanoseconds()) / float64(r.N),
 	}, nil
@@ -322,6 +374,81 @@ func runParallel(out string) {
 	}
 }
 
+// scaleReport is the -scale artifact: parallel-kernel ns/cycle across
+// shard counts 1/2/4/8 on each scale system (plus the active-set kernel
+// as the sequential reference), at the mid load. num_cpu and GOMAXPROCS
+// are the interpretation key: on a single-CPU machine every shard count
+// degenerates to sequential execution plus handoff overhead, so the
+// shard-scaling curve is only meaningful when num_cpu > 1 (CI's
+// scale-smoke job regenerates this artifact on a multicore runner).
+type scaleReport struct {
+	Date         string        `json:"date"`
+	GoVersion    string        `json:"go_version"`
+	GOOS         string        `json:"goos"`
+	GOARCH       string        `json:"goarch"`
+	NumCPU       int           `json:"num_cpu"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	Measurements []measurement `json:"measurements"`
+	// Speedup maps topology label to shards=1/shards=4 ns-per-cycle
+	// ratio: >1 means four shards beat one. Expect <=1 when num_cpu is 1.
+	Speedup map[string]float64 `json:"speedup_shards4_vs_shards1"`
+}
+
+// scaleShards is the shard axis of the -scale curves.
+var scaleShards = []int{1, 2, 4, 8}
+
+// scaleRate is the offered load of the -scale measurements: just below
+// the scale systems' uniform-random saturation (~0.015 accepted
+// flits/cycle/node on the 2048-router preset, bisection-limited), so the
+// awake set is large enough for per-shard work to dominate coordination
+// while steady state still exists — past saturation the injection queues
+// grow without bound and ns/cycle drifts with the backlog.
+const scaleRate = 0.01
+
+func runScale(out string) {
+	rep := scaleReport{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Speedup:    map[string]float64{},
+	}
+	perShards := map[string]map[int]float64{}
+	for _, sys := range experiments.ScaleSystems() {
+		perShards[sys.Label] = map[int]float64{}
+		fmt.Fprintf(os.Stderr, "benchjson: %s (%d routers), active kernel...\n", sys.Label, sys.Config.NumRouters())
+		m, err := measureScale(network.KernelActive, sys, 0, scaleRate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		m.Load = "mid"
+		m.Shards = 0
+		rep.Measurements = append(rep.Measurements, m)
+		active := m.NsPerCycle
+		for _, shards := range scaleShards {
+			fmt.Fprintf(os.Stderr, "benchjson: %s (%d routers), parallel kernel, %d shard(s)...\n",
+				sys.Label, sys.Config.NumRouters(), shards)
+			m, err := measureScale(network.KernelParallel, sys, shards, scaleRate)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			m.Load = "mid"
+			rep.Measurements = append(rep.Measurements, m)
+			perShards[sys.Label][shards] = m.NsPerCycle
+		}
+		rep.Speedup[sys.Label] = perShards[sys.Label][1] / perShards[sys.Label][4]
+		fmt.Fprintf(os.Stderr, "  %-6s active %9.0f ns/cycle; parallel 1/2/4/8 shards %9.0f %9.0f %9.0f %9.0f (4-shard speedup %.2fx on %d CPUs)\n",
+			sys.Label, active,
+			perShards[sys.Label][1], perShards[sys.Label][2], perShards[sys.Label][4], perShards[sys.Label][8],
+			rep.Speedup[sys.Label], rep.NumCPU)
+	}
+	writeJSON(out, rep)
+}
+
 // compareMeasurement is the cross-mode subset of a measurement row used
 // by -compare: every BENCH_*.json variant carries load and ns_per_cycle;
 // kernel and pooling distinguish rows within a file when present.
@@ -329,10 +456,20 @@ type compareMeasurement struct {
 	Load       string  `json:"load"`
 	Kernel     string  `json:"kernel"`
 	Router     string  `json:"router"`
+	Topology   string  `json:"topology"`
+	Shards     int     `json:"shards"`
 	Pooling    *bool   `json:"pooling"`
 	NsPerCycle float64 `json:"ns_per_cycle"`
 }
 
+// key identifies a measurement across artifacts. Files written before the
+// topology axis existed carry no topology field; those rows are
+// normalized to "baseline" (the only system they could measure), so an
+// old artifact still lines up with a regenerated one instead of every row
+// degenerating to a new/dropped pair. Axes a file doesn't use (shards,
+// router, pooling) are simply absent from its keys, so artifacts with
+// different axis sets compare on the rows they share and report the rest
+// as added/dropped rather than failing.
 func (m compareMeasurement) key() string {
 	k := m.Load
 	if m.Kernel != "" {
@@ -340,6 +477,12 @@ func (m compareMeasurement) key() string {
 	}
 	if m.Router != "" {
 		k += "/" + m.Router
+	}
+	if m.Topology != "" && m.Topology != "baseline" {
+		k += "/" + m.Topology
+	}
+	if m.Shards > 0 {
+		k += fmt.Sprintf("/shards=%d", m.Shards)
 	}
 	if m.Pooling != nil {
 		k += fmt.Sprintf("/pooling=%v", *m.Pooling)
@@ -442,9 +585,10 @@ func main() {
 	alloc := flag.Bool("alloc", false, "measure allocations/GC (pooled vs unpooled) instead of kernel speed")
 	parallel := flag.Bool("parallel", false, "measure all three kernels (naive/active/parallel) with CPU context")
 	routerMode := flag.Bool("router", false, "measure the three router microarchitectures (iq/oq/voq) instead of kernels")
+	scaleMode := flag.Bool("scale", false, "measure the parallel kernel's shard-scaling curves on the scale-out systems (small/large/huge)")
 	compare := flag.Bool("compare", false, "diff two BENCH_*.json files: benchjson -compare old.json new.json")
 	tolerance := flag.Float64("tolerance", 0.10, "with -compare, ns_per_cycle regression fraction that fails the diff")
-	out := flag.String("out", "", "output JSON path (default BENCH_kernel.json, BENCH_alloc.json with -alloc, BENCH_parallel.json with -parallel, BENCH_router.json with -router)")
+	out := flag.String("out", "", "output JSON path (default BENCH_kernel.json, BENCH_alloc.json with -alloc, BENCH_parallel.json with -parallel, BENCH_router.json with -router, BENCH_scale.json with -scale)")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
@@ -461,6 +605,8 @@ func main() {
 			*out = "BENCH_parallel.json"
 		case *routerMode:
 			*out = "BENCH_router.json"
+		case *scaleMode:
+			*out = "BENCH_scale.json"
 		default:
 			*out = "BENCH_kernel.json"
 		}
@@ -475,6 +621,10 @@ func main() {
 	}
 	if *routerMode {
 		runRouter(*out)
+		return
+	}
+	if *scaleMode {
+		runScale(*out)
 		return
 	}
 

@@ -20,7 +20,20 @@ import (
 
 	"uppnoc/internal/experiments"
 	"uppnoc/internal/network"
+	"uppnoc/internal/topology"
 )
+
+// flagSet reports whether the named flag was given explicitly on the
+// command line (vs holding its default).
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
 
 func main() {
 	cpuOut := flag.String("cpu", "profiles/cpu.pprof", "CPU profile output path")
@@ -29,6 +42,9 @@ func main() {
 	cycles := flag.Int("cycles", 200000, "profiled simulation window in cycles")
 	warmup := flag.Int("warmup", 20000, "extra warmup cycles before profiling starts")
 	nopool := flag.Bool("nopool", false, "disable packet pooling (profile the before state)")
+	kernel := flag.String("kernel", network.KernelActive, "cycle kernel: active | naive | parallel")
+	shards := flag.Int("shards", 0, "with -kernel parallel: shard count (0 = GOMAXPROCS)")
+	scale := flag.String("scale", "", "profile a scale-out preset instead of the baseline: small | large | huge (lowers -rate/-cycles defaults)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -41,7 +57,39 @@ func main() {
 	// default rate. Must be set before the profiled allocations happen.
 	runtime.MemProfileRate = 1
 
-	kb, err := experiments.NewKernelBenchPool(network.KernelActive, *rate, *nopool)
+	var kb *experiments.KernelBench
+	var err error
+	if *scale != "" {
+		// The scale systems saturate near 0.015 flits/cycle/node
+		// (bisection-limited) and simulate orders of magnitude slower per
+		// cycle, so the flag defaults would profile a wedged network for
+		// hours; substitute scale-appropriate defaults unless overridden.
+		if !flagSet("rate") {
+			*rate = 0.01
+		}
+		if !flagSet("cycles") {
+			*cycles = 20000
+		}
+		if !flagSet("warmup") {
+			*warmup = 5000
+		}
+		var sc *topology.ScaleConfig
+		for _, sys := range experiments.ScaleSystems() {
+			if sys.Label == *scale {
+				c := sys.Config
+				sc = &c
+			}
+		}
+		if sc == nil {
+			fail(fmt.Errorf("unknown -scale preset %q (want small, large or huge)", *scale))
+		}
+		if *nopool {
+			fail(fmt.Errorf("-nopool does not combine with -scale"))
+		}
+		kb, err = experiments.NewScaleBench(*kernel, *sc, *shards, *rate)
+	} else {
+		kb, err = experiments.NewKernelBenchPool(*kernel, *rate, *nopool)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -81,8 +129,12 @@ func main() {
 	}
 
 	st := kb.Network().PacketPool().Stats
-	fmt.Fprintf(os.Stderr, "profile: %d cycles at rate %.2f (pooling=%v); pool gets=%d reuses=%d live=%d\n",
-		*cycles, *rate, !*nopool, st.Gets, st.Reuses, st.Live())
+	sys := "baseline"
+	if *scale != "" {
+		sys = *scale
+	}
+	fmt.Fprintf(os.Stderr, "profile: %s/%s: %d cycles at rate %.3f (pooling=%v); pool gets=%d reuses=%d live=%d\n",
+		sys, *kernel, *cycles, *rate, !*nopool, st.Gets, st.Reuses, st.Live())
 	fmt.Fprintf(os.Stderr, "profile: wrote %s and %s\n", *cpuOut, *memOut)
 	fmt.Fprintf(os.Stderr, "profile: try `go tool pprof -sample_index=alloc_objects %s`\n", *memOut)
 }

@@ -8,6 +8,8 @@
 //	uppsim -scheme upp -faults 10 -rate 0.03
 //	uppsim -scheme upp -fault-plan "flaps=4,drop=0.2" -rate 0.05
 //	uppsim -scheme none -rate 0.10       # watch a deadlock wedge the network
+//	uppsim -scale large -rate 0.01       # 2048-router scale-out preset
+//	UPP_KERNEL=parallel UPP_SHARDS=4 uppsim -scale huge -rate 0.005 -cycles 2000
 //
 // Closed-loop collective workloads (see EXPERIMENTS.md for the spec
 // syntax) replace the rate-driven generator; a run can be recorded to a
@@ -54,6 +56,7 @@ func main() {
 		record     = flag.String("record", "", "with -workload: write the run's binary message trace to this file")
 		replay     = flag.String("replay", "", "replay a recorded trace open-loop instead of running a workload")
 		routerArch = flag.String("router", "", "router microarchitecture: iq | oq | voq (default $UPP_ROUTER, then iq)")
+		scale      = flag.String("scale", "", "scale-out preset: small (512 routers) | large (2048) | huge (8192); replaces -large/-boundaries")
 	)
 	flag.Parse()
 
@@ -62,6 +65,24 @@ func main() {
 		sysCfg = topology.LargeConfig()
 	}
 	sysCfg.BoundaryPerChiplet = *boundaries
+
+	var scaleCfg *topology.ScaleConfig
+	if *scale != "" {
+		found := false
+		for _, sys := range experiments.ScaleSystems() {
+			if sys.Label == *scale {
+				sc := sys.Config
+				scaleCfg = &sc
+				found = true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown -scale preset %q (want small, large or huge)", *scale))
+		}
+		if *replay != "" || *wl != "" {
+			fatal(fmt.Errorf("-scale does not combine with -replay/-workload"))
+		}
+	}
 
 	if *replay != "" {
 		runReplay(sysCfg, *schemeName, *routerArch, *vcs, *seed, *maxCycles, *replay)
@@ -78,6 +99,7 @@ func main() {
 	}
 	spec := experiments.RunSpec{
 		Topo:       sysCfg,
+		Scale:      scaleCfg,
 		Scheme:     experiments.SchemeName(*schemeName),
 		VCsPerVNet: *vcs,
 		Pattern:    pat,

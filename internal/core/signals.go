@@ -240,7 +240,10 @@ func (u *UPP) deliverReqStop(p *popup, kind sigKind, cycle sim.Cycle) {
 
 // assertEncodable checks that the signal state being transmitted fits the
 // paper's Fig. 4 wire format (18-bit req/stop, 9-bit ack, 32-bit buffers)
-// — the simulator moves structs, but the hardware budget must hold.
+// — the simulator moves structs, but the hardware budget must hold. On
+// the scale-out systems the destination field widens with the node count
+// (message.DestBits), so the budget scales as ceil(log2(N)) while
+// everything else in the encoding is unchanged.
 func (u *UPP) assertEncodable(p *popup, kind sigKind) {
 	sig := message.Signal{VNet: p.vnet, Dst: p.dst, Origin: p.origin, PopupID: p.id, InputVC: int8(p.vcIdx)}
 	switch kind {
@@ -249,7 +252,7 @@ func (u *UPP) assertEncodable(p *popup, kind sigKind) {
 	case sigStop:
 		sig.Type = message.UPPStop
 	}
-	if _, err := sig.Encode(); err != nil {
+	if _, err := sig.EncodeSized(u.destBits); err != nil {
 		panic(fmt.Sprintf("upp: signal exceeds the Fig. 4 encoding budget: %v", err))
 	}
 }

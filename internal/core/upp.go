@@ -242,8 +242,12 @@ type UPP struct {
 	net    *network.Network
 	nodes  []nodeState
 	tokens [][message.NumVNets]uint64 // holder popup ID per (chiplet, vnet); 0 = free
-	popups map[uint64]*popup
-	nextID uint64
+	// destBits is the signal destination-field width the attached system
+	// needs (message.DestBits of its node count): 8 bits on the paper's
+	// systems, wider on the scale-out topologies.
+	destBits int
+	popups   map[uint64]*popup
+	nextID   uint64
 	// sorted is sortedPopups' reusable scratch buffer (recovery cycles
 	// run several passes over the active set; reusing the slice keeps
 	// them allocation-light).
@@ -283,6 +287,7 @@ func (u *UPP) Policy() routing.BoundaryPolicy {
 // Attach implements network.Scheme.
 func (u *UPP) Attach(n *network.Network) {
 	u.net = n
+	u.destBits = message.DestBits(n.Topo.NumNodes())
 	u.nodes = make([]nodeState, n.Topo.NumNodes())
 	u.tokens = make([][message.NumVNets]uint64, len(n.Topo.Chiplets))
 	for i := range u.nodes {
@@ -359,50 +364,77 @@ func (u *UPP) sortedPopups() []*popup {
 
 // --- Detection (Sec. V-A) ---------------------------------------------------
 
+// detect runs the per-interposer-router timeout counters. Under the
+// active-set kernels it walks the network's awake-router list (ascending
+// NodeIDs) filtered down to interposer routers instead of the full
+// topo.Interposer slice: a retired router has no buffered flits — so no
+// stalled upward packet — and OnRouterIdle zeroed its counters, which is
+// exactly the set the RouterActive skip used to drop. Both walks visit
+// the same routers in the same (ascending-ID) order, so token claims and
+// popup creation stay bit-identical; the awake walk just makes detection
+// O(awake) instead of O(interposer) per cycle on mostly-idle large
+// systems. The naive kernel keeps no awake list and scans everything.
 func (u *UPP) detect(cycle sim.Cycle) {
 	topo := u.net.Topo
-	for _, id := range topo.Interposer {
-		node := topo.Node(id)
-		if node.PortTo(topology.Up) == topology.InvalidPort {
-			continue // no vertical link: never hosts an upward packet
+	if awake := u.net.AwakeRouterIDs(); awake != nil {
+		for _, id32 := range awake {
+			id := topology.NodeID(id32)
+			if topo.Node(id).Chiplet != topology.InterposerChiplet {
+				continue
+			}
+			u.detectAt(id, cycle)
 		}
+		return
+	}
+	for _, id := range topo.Interposer {
 		if !u.net.RouterActive(id) {
 			// Idle under the active-set kernel: no buffered flit, so no
 			// stalled upward packet; OnRouterIdle zeroed the counters when
 			// the router retired.
 			continue
 		}
-		r := u.net.Router(id)
-		ns := &u.nodes[id]
-		upMask := r.UpSentMask(cycle)
-		for v := 0; v < message.NumVNets; v++ {
-			vnet := message.VNet(v)
-			if ns.entry[v] != nil {
-				// One popup per VNet per interposer router (Sec. V-A);
-				// counting pauses while one is in flight.
-				continue
-			}
-			if upMask&(1<<uint(v)) != 0 {
-				ns.counters[v] = 0
-				continue
-			}
-			port, vcIdx, f := u.findStalledUpward(r, vnet, ns.rr[v], cycle)
-			if port == topology.InvalidPort {
-				ns.counters[v] = 0
-				continue
-			}
-			ns.counters[v]++
-			if int(ns.counters[v]) < u.cfg.Threshold {
-				continue
-			}
-			// Deadlock declared: serialize with the per-(chiplet, VNet)
-			// popup token before selecting.
-			chiplet := topo.Node(f.Pkt.Dst).Chiplet
-			if u.tokens[chiplet][v] != 0 {
-				continue // token busy; retry next cycle
-			}
-			u.startPopup(r, ns, vnet, port, vcIdx, f, cycle)
+		u.detectAt(id, cycle)
+	}
+}
+
+// detectAt advances the timeout counters of one interposer router — the
+// body of the detection walk, shared by the awake-list and full scans.
+func (u *UPP) detectAt(id topology.NodeID, cycle sim.Cycle) {
+	topo := u.net.Topo
+	node := topo.Node(id)
+	if node.PortTo(topology.Up) == topology.InvalidPort {
+		return // no vertical link: never hosts an upward packet
+	}
+	r := u.net.Router(id)
+	ns := &u.nodes[id]
+	upMask := r.UpSentMask(cycle)
+	for v := 0; v < message.NumVNets; v++ {
+		vnet := message.VNet(v)
+		if ns.entry[v] != nil {
+			// One popup per VNet per interposer router (Sec. V-A);
+			// counting pauses while one is in flight.
+			continue
 		}
+		if upMask&(1<<uint(v)) != 0 {
+			ns.counters[v] = 0
+			continue
+		}
+		port, vcIdx, f := u.findStalledUpward(r, vnet, ns.rr[v], cycle)
+		if port == topology.InvalidPort {
+			ns.counters[v] = 0
+			continue
+		}
+		ns.counters[v]++
+		if int(ns.counters[v]) < u.cfg.Threshold {
+			continue
+		}
+		// Deadlock declared: serialize with the per-(chiplet, VNet)
+		// popup token before selecting.
+		chiplet := topo.Node(f.Pkt.Dst).Chiplet
+		if u.tokens[chiplet][v] != 0 {
+			continue // token busy; retry next cycle
+		}
+		u.startPopup(r, ns, vnet, port, vcIdx, f, cycle)
 	}
 }
 
@@ -730,6 +762,16 @@ func (u *UPP) OnRouterIdle(node topology.NodeID, _ sim.Cycle) {
 		}
 	}
 }
+
+// Inert implements network.Scheme. With no live popup there is no signal,
+// latch, ack, drain FSM, armed retry deadline or held token anywhere
+// (every one of those belongs to a popup, which is only deleted after its
+// path is swept clean), StartOfCycle short-circuits, and the detection
+// counters advance only at awake routers — which the kernel's idle-skip
+// precondition already requires to be none (OnRouterIdle zeroed the
+// counters of every retired router). EndOfCycle is therefore a provable
+// no-op until some event wakes a router.
+func (u *UPP) Inert() bool { return len(u.popups) == 0 }
 
 // Diagnostic implements network.Scheme: the deadlock watchdog's view of
 // live popup FSMs and held tokens (embedded in Network.Drain's

@@ -14,7 +14,12 @@ import (
 
 // RunSpec describes one simulation point.
 type RunSpec struct {
-	Topo      topology.SystemConfig
+	Topo topology.SystemConfig
+	// Scale, when non-nil, builds the system with topology.BuildScale
+	// instead of Topo — the scale-out experiments. Scale runs don't use
+	// the composable-scheme cache (keyed on SystemConfig), so pair Scale
+	// with Scheme, not SchemeOverride, for upp/remote_control/none.
+	Scale     *topology.ScaleConfig
 	Faults    int
 	FaultSeed uint64
 	// FaultsPerLayer faults that many mesh links in every layer
@@ -73,7 +78,13 @@ const latencyCap = 100.0
 
 // Run executes one simulation point.
 func Run(spec RunSpec) (Point, error) {
-	topo, err := topology.Build(spec.Topo)
+	var topo *topology.Topology
+	var err error
+	if spec.Scale != nil {
+		topo, err = topology.BuildScale(*spec.Scale)
+	} else {
+		topo, err = topology.Build(spec.Topo)
+	}
 	if err != nil {
 		return Point{}, err
 	}
@@ -94,9 +105,10 @@ func Run(spec RunSpec) (Point, error) {
 	case spec.FaultPlan != "" && spec.Scheme == SchemeUPP:
 		// Runtime signal faults need the retry machinery.
 		scheme = HardenedUPP()
-	case spec.Faults == 0 && spec.FaultsPerLayer == 0:
+	case spec.Scale == nil && spec.Faults == 0 && spec.FaultsPerLayer == 0:
 		// Cacheable: composable's design-time search is reused across
-		// runs of the same configuration.
+		// runs of the same configuration. (Scale runs skip the cache —
+		// it is keyed on SystemConfig, which a Scale spec leaves zero.)
 		scheme, err = cachedScheme(spec.Topo, spec.Scheme)(topo)
 	default:
 		scheme, err = MakeScheme(spec.Scheme, topo)

@@ -85,6 +85,43 @@ func TestSignalEncodingFitsPaperBudget(t *testing.T) {
 	}
 }
 
+func TestSignalEncodeSized(t *testing.T) {
+	// DestBits never shrinks below the paper's 8-bit field, widens as
+	// ceil(log2(N)) past 256 nodes, and covers the scale presets.
+	for _, tc := range []struct{ nodes, want int }{
+		{60, 8}, {256, 8}, {257, 9}, {3072, 12}, {12288, 14},
+	} {
+		if got := message.DestBits(tc.nodes); got != tc.want {
+			t.Errorf("DestBits(%d) = %d, want %d", tc.nodes, got, tc.want)
+		}
+	}
+	// A widened req round-trips at the matching width and rejects a
+	// destination past it.
+	s := message.Signal{Type: message.UPPReq, VNet: 2, Dst: 3000, InputVC: 15}
+	if _, err := s.Encode(); err == nil {
+		t.Fatal("destination 3000 must not fit the paper's 8-bit field")
+	}
+	enc, err := s.EncodeSized(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := message.DecodeSignalSized(enc, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Dst != s.Dst || dec.VNet != s.VNet || dec.InputVC != s.InputVC {
+		t.Fatalf("sized round trip mangled the signal: %+v -> %+v", s, dec)
+	}
+	if _, err := s.EncodeSized(11); err == nil {
+		t.Fatal("destination 3000 must not fit an 11-bit field")
+	}
+	// The widened encoding still lives inside the 32-bit signal buffer; a
+	// width that would overflow it is rejected outright.
+	if _, err := s.EncodeSized(23); err == nil {
+		t.Fatal("a 23-bit destination field must overflow the 32-bit buffer")
+	}
+}
+
 func TestSignalEncodeRejectsBadFields(t *testing.T) {
 	cases := []message.Signal{
 		{Type: message.UPPReq, VNet: -1},

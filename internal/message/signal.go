@@ -2,6 +2,7 @@ package message
 
 import (
 	"fmt"
+	"math/bits"
 
 	"uppnoc/internal/topology"
 )
@@ -78,6 +79,21 @@ const (
 	SignalBufferBits = 32
 )
 
+// DestBits returns the destination-field width a system of numNodes
+// components needs. The paper's Fig. 4 provisions 8 bits, which addresses
+// its ~60-node evaluation system; the scale-out topologies widen the
+// field to ceil(log2(numNodes)) while the rest of the encoding is
+// unchanged. The widened req/stop must still fit the 32-bit signal
+// buffer, which bounds addressable systems at 2^22 nodes — far above the
+// 8192-router huge preset.
+func DestBits(numNodes int) int {
+	b := bits.Len(uint(numNodes - 1))
+	if b < destBits {
+		return destBits
+	}
+	return b
+}
+
 // Encode packs the signal into the Fig. 4 wire format and returns it in
 // the low bits of a uint32. The layout (LSB first) is:
 //
@@ -87,22 +103,34 @@ const (
 // Encode exists to demonstrate that the protocol state fits the paper's
 // 18-/9-bit budgets; the simulator moves Signal structs around.
 func (s *Signal) Encode() (uint32, error) {
+	return s.EncodeSized(destBits)
+}
+
+// EncodeSized is Encode with an explicit destination-field width
+// (DestBits of the system's node count): the layout is the paper's, only
+// the dest field stretches. The widened req/stop encoding must still fit
+// the 32-bit signal buffer; a system too large for that fails here rather
+// than silently truncating addresses.
+func (s *Signal) EncodeSized(dBits int) (uint32, error) {
 	if s.VNet < 0 || int(s.VNet) >= NumVNets {
 		return 0, fmt.Errorf("message: encode signal with invalid vnet %d", s.VNet)
 	}
 	oneHot := uint32(1) << uint(s.VNet)
 	switch s.Type {
 	case UPPReq, UPPStop:
-		if s.Dst < 0 || s.Dst > 255 {
-			return 0, fmt.Errorf("message: destination %d does not fit the 8-bit field", s.Dst)
+		if signalTypeBits+dBits+vnetBits+inputVCBits > SignalBufferBits {
+			return 0, fmt.Errorf("message: %d-bit destination field overflows the %d-bit signal buffer", dBits, SignalBufferBits)
+		}
+		if s.Dst < 0 || uint64(s.Dst) >= 1<<uint(dBits) {
+			return 0, fmt.Errorf("message: destination %d does not fit the %d-bit field", s.Dst, dBits)
 		}
 		if s.InputVC < 0 || s.InputVC > 15 {
 			return 0, fmt.Errorf("message: input VC %d does not fit the 4-bit field", s.InputVC)
 		}
 		v := uint32(s.Type)
 		v |= uint32(s.Dst) << signalTypeBits
-		v |= oneHot << (signalTypeBits + destBits)
-		v |= uint32(s.InputVC) << (signalTypeBits + destBits + vnetBits)
+		v |= oneHot << uint(signalTypeBits+dBits)
+		v |= uint32(s.InputVC) << uint(signalTypeBits+dBits+vnetBits)
 		return v, nil
 	case UPPAck:
 		if s.StartMask>>startBits != 0 {
@@ -119,6 +147,12 @@ func (s *Signal) Encode() (uint32, error) {
 // DecodeSignal reverses Encode. PopupID and Origin are simulator-side
 // bookkeeping and are not part of the wire format.
 func DecodeSignal(v uint32) (Signal, error) {
+	return DecodeSignalSized(v, destBits)
+}
+
+// DecodeSignalSized reverses EncodeSized at the given destination-field
+// width.
+func DecodeSignalSized(v uint32, dBits int) (Signal, error) {
 	var s Signal
 	s.Type = SignalType(v & ((1 << signalTypeBits) - 1))
 	oneHotToVNet := func(oh uint32) (VNet, error) {
@@ -131,13 +165,16 @@ func DecodeSignal(v uint32) (Signal, error) {
 	}
 	switch s.Type {
 	case UPPReq, UPPStop:
-		s.Dst = topology.NodeID((v >> signalTypeBits) & ((1 << destBits) - 1))
-		vn, err := oneHotToVNet((v >> (signalTypeBits + destBits)) & ((1 << vnetBits) - 1))
+		if signalTypeBits+dBits+vnetBits+inputVCBits > SignalBufferBits {
+			return s, fmt.Errorf("message: %d-bit destination field overflows the %d-bit signal buffer", dBits, SignalBufferBits)
+		}
+		s.Dst = topology.NodeID((v >> signalTypeBits) & ((1 << uint(dBits)) - 1))
+		vn, err := oneHotToVNet((v >> uint(signalTypeBits+dBits)) & ((1 << vnetBits) - 1))
 		if err != nil {
 			return s, err
 		}
 		s.VNet = vn
-		s.InputVC = int8((v >> (signalTypeBits + destBits + vnetBits)) & ((1 << inputVCBits) - 1))
+		s.InputVC = int8((v >> uint(signalTypeBits+dBits+vnetBits)) & ((1 << inputVCBits) - 1))
 	case UPPAck:
 		vn, err := oneHotToVNet((v >> signalTypeBits) & ((1 << vnetBits) - 1))
 		if err != nil {

@@ -105,12 +105,18 @@ func (c *DependencyCycle) String() string {
 //
 // It returns nil when no cycle exists (e.g. transient congestion). Call it
 // on a wedged network to extract the deadlock certificate.
+//
+// Under the active-set kernels only the awake routers are scanned: a
+// retired router has no buffered flits, so none of its VCs can hold a
+// blocked packet or appear in a wait-for edge. On a wedged multi-thousand-
+// router system the graph construction therefore costs O(blocked routers),
+// not O(total nodes). The naive kernel keeps no awake list and scans
+// everything.
 func (n *Network) FindDependencyCycle() *DependencyCycle {
 	type key = VCRef
 	adj := map[key][]key{}
 	nvc := n.Cfg.Router.NumVCs()
-	for i := range n.Topo.Nodes {
-		node := &n.Topo.Nodes[i]
+	scan := func(node *topology.Node) {
 		r := n.Routers[node.ID]
 		for pi := range node.Ports {
 			for vi := 0; vi < nvc; vi++ {
@@ -135,6 +141,15 @@ func (n *Network) FindDependencyCycle() *DependencyCycle {
 					}
 				}
 			}
+		}
+	}
+	if n.kernel == KernelNaive {
+		for i := range n.Topo.Nodes {
+			scan(&n.Topo.Nodes[i])
+		}
+	} else {
+		for _, id := range n.routerList {
+			scan(&n.Topo.Nodes[id])
 		}
 	}
 	// DFS cycle detection.

@@ -25,6 +25,23 @@ import (
 // Flits moved out-of-band by schemes (popup latches, boundary buffers)
 // have already returned their buffer slot via PopFront's credit, so they
 // do not appear in the equation.
+//
+// Scaling: up to diagDeepMaxNodes nodes (or always under -tags uppdebug,
+// or under the naive kernel, which keeps no awake list) every link is
+// checked. Above that the scan is scoped to links with at least one
+// engaged endpoint — an awake router or an in-flight event destination.
+// The scoped scan still catches every violation involving live traffic,
+// but can miss a stale imbalance parked between two long-retired routers
+// (e.g. a credit dropped many cycles ago on a now-idle link); uppdebug
+// restores the exhaustive walk at any size.
+// diagDeepMaxNodes is the system-size threshold above which the state
+// diagnostics (CheckConservation, CheckQuiescent) drop their exhaustive
+// every-port-every-VC walks in favour of scoped or reduced scans. The
+// uppdebug build tag (diagDeepAlways) forces the exhaustive walks at any
+// size; see each check's doc comment for what the reduced mode still
+// guarantees.
+const diagDeepMaxNodes = 1024
+
 func (n *Network) CheckConservation() error {
 	nvc := n.Cfg.Router.NumVCs()
 
@@ -48,11 +65,30 @@ func (n *Network) CheckConservation() error {
 		}
 	}
 
-	for i := range n.Topo.Nodes {
-		node := &n.Topo.Nodes[i]
+	full := diagDeepAlways || n.kernel == KernelNaive || len(n.Topo.Nodes) <= diagDeepMaxNodes
+	var engaged map[topology.NodeID]bool
+	if !full {
+		engaged = make(map[topology.NodeID]bool, 2*len(n.routerList))
+		for _, id := range n.routerList {
+			engaged[topology.NodeID(id)] = true
+		}
+		for s := range n.wheel {
+			for i := range n.wheel[s] {
+				engaged[n.wheel[s][i].to] = true
+			}
+		}
+	}
+
+	// checkNode verifies the law on every out-link of one node; in the
+	// scoped mode a link is skipped only when both endpoints are retired
+	// with nothing in flight toward either.
+	checkNode := func(node *topology.Node) error {
 		r := n.Routers[node.ID]
 		for pi := 1; pi < len(node.Ports); pi++ {
 			pt := &node.Ports[pi]
+			if engaged != nil && !engaged[node.ID] && !engaged[pt.Neighbor] {
+				continue
+			}
 			down := n.Routers[pt.Neighbor]
 			// The law balances against the downstream input VC's actual
 			// depth (the effective config, not the budget config).
@@ -69,6 +105,32 @@ func (n *Network) CheckConservation() error {
 						"network: conservation violated on node%d.out[%d].vc%d -> node%d.in[%d]: credits %d + staged %d + buffered %d + flits-in-flight %d + credits-in-flight %d = %d, want %d",
 						node.ID, pi, vi, pt.Neighbor, pt.NeighborPort,
 						credits, staged, buffered, inFlight, creditBack, total, depth)
+				}
+			}
+		}
+		return nil
+	}
+
+	if full {
+		for i := range n.Topo.Nodes {
+			if err := checkNode(&n.Topo.Nodes[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for id := range engaged {
+		node := n.Topo.Node(id)
+		if err := checkNode(node); err != nil {
+			return err
+		}
+		// A retired upstream of an engaged node owns the credits for the
+		// link into it — walk it too so inbound links are covered.
+		for pi := 1; pi < len(node.Ports); pi++ {
+			nb := node.Ports[pi].Neighbor
+			if !engaged[nb] {
+				if err := checkNode(n.Topo.Node(nb)); err != nil {
+					return err
 				}
 			}
 		}

@@ -1,0 +1,10 @@
+//go:build !uppdebug
+
+package network
+
+// diagDeepAlways gates the exhaustive every-node-every-VC variants of the
+// state diagnostics (CheckConservation, CheckQuiescent). Off by default so
+// the checks stay affordable on multi-thousand-router scale systems; build
+// with -tags uppdebug to force the exhaustive walks at every size (see
+// diagdebug_on.go).
+const diagDeepAlways = false

@@ -1,0 +1,7 @@
+//go:build uppdebug
+
+package network
+
+// diagDeepAlways: uppdebug builds run the exhaustive diagnostic walks on
+// every network regardless of size; see diagdebug_off.go for the default.
+const diagDeepAlways = true

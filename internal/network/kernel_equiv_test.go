@@ -2,6 +2,7 @@ package network_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -108,6 +109,87 @@ func TestKernelTraceEquality(t *testing.T) {
 					}
 					t.Fatalf("flit traces diverge at byte %d:\nactive:   ...%.300s\n%-8s: ...%.300s",
 						i, activeTrace[lo:], kernel, trace[lo:])
+				}
+			}
+		})
+	}
+}
+
+// kernelScaleRun is kernelRun on a scale-out system (topology.BuildScale)
+// with an explicit parallel-kernel shard count.
+func kernelScaleRun(t *testing.T, kernel string, shards int, scheme string, rate float64, cycles int, seed uint64) (string, network.Stats) {
+	t.Helper()
+	topo, err := topology.BuildScale(topology.ScaleLargeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sch network.Scheme
+	switch scheme {
+	case "upp":
+		sch = core.New(core.DefaultConfig())
+	case "none":
+		sch = network.None{}
+	default:
+		t.Fatalf("unknown scheme %q", scheme)
+	}
+	cfg := network.DefaultConfig()
+	cfg.Kernel = kernel
+	cfg.Shards = shards
+	n, err := network.New(topo, cfg, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n.SetTracer(network.WriteTracer(&buf, 0))
+	g := traffic.NewGenerator(n, traffic.UniformRandom{}, rate, seed)
+	g.Run(cycles)
+	return buf.String(), n.Stats
+}
+
+// TestKernelTraceEqualityScale extends the bit-identity contract to a
+// scale-out system (the hierarchical 2x2-tile, 2048-router preset): the
+// active-set and parallel kernels — the latter at several shard counts,
+// since shard boundaries move with the node count — must reproduce the
+// naive walk's flit trace exactly on a topology 30x the paper baseline.
+func TestKernelTraceEqualityScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	cases := []struct {
+		scheme string
+		rate   float64
+		cycles int
+	}{
+		{"none", 0.03, 2000},
+		{"upp", 0.06, 2500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.scheme, func(t *testing.T) {
+			activeTrace, activeStats := kernelScaleRun(t, network.KernelActive, 0, tc.scheme, tc.rate, tc.cycles, 42)
+			type leg struct {
+				kernel string
+				shards int
+			}
+			for _, l := range []leg{{network.KernelNaive, 0}, {network.KernelParallel, 1}, {network.KernelParallel, 4}} {
+				trace, stats := kernelScaleRun(t, l.kernel, l.shards, tc.scheme, tc.rate, tc.cycles, 42)
+				name := l.kernel
+				if l.shards > 0 {
+					name = fmt.Sprintf("%s/shards=%d", l.kernel, l.shards)
+				}
+				if activeStats != stats {
+					t.Errorf("stats diverge:\nactive: %+v\n%s: %+v", activeStats, name, stats)
+				}
+				if activeTrace != trace {
+					i := 0
+					for i < len(activeTrace) && i < len(trace) && activeTrace[i] == trace[i] {
+						i++
+					}
+					lo := i - 200
+					if lo < 0 {
+						lo = 0
+					}
+					t.Fatalf("flit traces diverge at byte %d:\nactive: ...%.300s\n%s: ...%.300s",
+						i, activeTrace[lo:], name, trace[lo:])
 				}
 			}
 		})

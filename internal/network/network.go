@@ -7,6 +7,7 @@ package network
 import (
 	"fmt"
 	"os"
+	"slices"
 	"sync"
 
 	"uppnoc/internal/message"
@@ -169,12 +170,29 @@ type Network struct {
 	// finds it idle. The per-cycle walk visits awake components in
 	// ascending NodeID order — the naive kernel's order — so the two
 	// kernels are bit-identical.
-	kernel       string
-	arch         string
-	routerAwake  []bool
-	niAwake      []bool
-	awakeRouters int
-	awakeNIs     int
+	//
+	// The awake sets are held as explicit ID lists next to the membership
+	// flags, so the per-cycle walk is O(awake) instead of an O(total-nodes)
+	// flag scan — on a 8k-router scale system at low load that is the
+	// difference between touching 16 KiB of bools four times a cycle and
+	// touching a handful of list entries. routerList is sorted ascending at
+	// walk time (router wakes only happen at event delivery, before the
+	// walk); niList is a sorted prefix plus a tail of mid-cycle wakes, and
+	// the NI walk merges same-pass wakes in through niHeap (see walkNIs).
+	kernel      string
+	arch        string
+	routerAwake []bool
+	niAwake     []bool
+	routerList  []int32
+	niList      []int32
+	niHeap      []int32
+	niWalkPos   int32
+	inNIWalk    bool
+
+	// wheelPending counts events resident in the wheel; when it is zero and
+	// nothing is awake, whole cycles are provably no-ops and Run/Drain skip
+	// them in one jump (see skipIdleCycles).
+	wheelPending int
 
 	// Parallel-kernel state (KernelParallel, see parallel.go): static
 	// NodeID-range shards with reusable commit logs, the in-compute flag
@@ -238,6 +256,11 @@ func New(t *topology.Topology, cfg Config, scheme Scheme) (*Network, error) {
 	n.pooling = !cfg.DisablePool && os.Getenv("UPP_NOPOOL") == ""
 	n.routerAwake = make([]bool, t.NumNodes())
 	n.niAwake = make([]bool, t.NumNodes())
+	// Full-capacity awake lists: the flag arrays bound their length, so
+	// appends in the wake paths never allocate.
+	n.routerList = make([]int32, 0, t.NumNodes())
+	n.niList = make([]int32, 0, t.NumNodes())
+	n.niHeap = make([]int32, 0, t.NumNodes())
 	// Pre-size the event wheel slots: steady state never grows them, so
 	// the per-cycle append in DeliverFlit/DeliverCredit stays in place.
 	// Capacity beyond the initial guess is grown once and then reused —
@@ -413,18 +436,21 @@ func (n *Network) Schedule(cycle sim.Cycle, fn func(cycle sim.Cycle)) {
 	}
 	slot := cycle % wheelSize
 	n.wheel[slot] = append(n.wheel[slot], event{kind: evCall, fn: fn})
+	n.wheelPending++
 }
 
 // DeliverFlit implements router.EventSink.
 func (n *Network) DeliverFlit(to topology.NodeID, port topology.PortID, vc int8, f message.Flit, cycle sim.Cycle) {
 	slot := cycle % wheelSize
 	n.wheel[slot] = append(n.wheel[slot], event{kind: evFlit, to: to, port: port, vc: vc, flit: f})
+	n.wheelPending++
 }
 
 // DeliverCredit implements router.EventSink.
 func (n *Network) DeliverCredit(to topology.NodeID, port topology.PortID, vc int8, delta int, free bool, cycle sim.Cycle) {
 	slot := cycle % wheelSize
 	n.wheel[slot] = append(n.wheel[slot], event{kind: evCredit, to: to, port: port, vc: vc, delta: int8(delta), free: free})
+	n.wheelPending++
 }
 
 // deliverLocalFlit carries an NI-injected flit to its router's local input
@@ -456,20 +482,160 @@ func (n *Network) RouterActive(id topology.NodeID) bool {
 	return n.kernel == KernelNaive || n.routerAwake[id]
 }
 
-// wakeRouter puts a router into the active set.
+// wakeRouter puts a router into the active set. Routers are only woken at
+// event delivery — before the router walk of the same cycle — so the list
+// needs sorting once per cycle and never mid-walk maintenance.
 func (n *Network) wakeRouter(id topology.NodeID) {
 	if !n.routerAwake[id] {
 		n.routerAwake[id] = true
-		n.awakeRouters++
+		n.routerList = append(n.routerList, int32(id))
 	}
 }
 
-// wakeNI puts an NI into the active set.
+// wakeNI puts an NI into the active set. NIs can be woken mid-NI-walk (a
+// PE Consume callback enqueueing a reply); a wake at an ID past the walk
+// cursor joins the current pass through the merge heap, matching the flag
+// scan's semantics of visiting every awake ID in ascending order.
 func (n *Network) wakeNI(id topology.NodeID) {
-	if !n.niAwake[id] {
-		n.niAwake[id] = true
-		n.awakeNIs++
+	if n.niAwake[id] {
+		return
 	}
+	n.niAwake[id] = true
+	n.niList = append(n.niList, int32(id))
+	if n.inNIWalk && int32(id) > n.niWalkPos {
+		n.niHeapPush(int32(id))
+	}
+}
+
+// AwakeRouterIDs returns the ascending IDs of the routers left awake after
+// this cycle's retirement pass, or nil under the naive kernel (where every
+// router is implicitly active). It is valid during the scheme's EndOfCycle
+// hook only — schemes drive detection walks with it so a mostly-idle
+// large system costs O(awake), not O(total-nodes), per cycle. Callers must
+// not modify the slice.
+func (n *Network) AwakeRouterIDs() []int32 {
+	if n.kernel == KernelNaive {
+		return nil
+	}
+	return n.routerList
+}
+
+// niHeapPush adds id to the mid-walk wake heap (a plain binary min-heap
+// over a reused slice; no container/heap interface boxing).
+func (n *Network) niHeapPush(id int32) {
+	h := append(n.niHeap, id)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	n.niHeap = h
+}
+
+// niHeapPop removes and returns the smallest pending mid-walk wake.
+func (n *Network) niHeapPop() int32 {
+	h := n.niHeap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	n.niHeap = h
+	return top
+}
+
+// walkRouters sorts the awake-router list and steps each router in
+// ascending NodeID order — the naive kernel's visit order. The list is a
+// sorted prefix (last cycle's survivors, order-preserved by retirement)
+// plus this cycle's wake tail, so the sort is near-linear.
+func (n *Network) walkRouters(cycle sim.Cycle) {
+	if len(n.routerList) == 0 {
+		return
+	}
+	slices.Sort(n.routerList)
+	for _, id := range n.routerList {
+		n.Routers[id].Step(cycle)
+	}
+}
+
+// walkNIs steps the awake NIs in ascending NodeID order, merging in NIs
+// woken mid-pass at IDs beyond the cursor (they are visited in their
+// sorted position, exactly as the flag scan would visit them); wakes at or
+// before the cursor stay on the list for next cycle, again matching the
+// scan. The prefix length is captured before stepping because same-pass
+// wakes also append to the list for retirement bookkeeping.
+func (n *Network) walkNIs(cycle sim.Cycle) {
+	if len(n.niList) == 0 {
+		return
+	}
+	slices.Sort(n.niList)
+	prefix := len(n.niList)
+	n.inNIWalk = true
+	i := 0
+	for i < prefix || len(n.niHeap) > 0 {
+		var id int32
+		if i < prefix && (len(n.niHeap) == 0 || n.niList[i] < n.niHeap[0]) {
+			id = n.niList[i]
+			i++
+		} else {
+			id = n.niHeapPop()
+		}
+		n.niWalkPos = id
+		n.NIs[id].step(cycle)
+	}
+	n.inNIWalk = false
+	n.niWalkPos = 0
+}
+
+// retireRouters removes routers with no remaining work from the active
+// set, notifying the scheme in ascending NodeID order — identical to the
+// flag scan's retirement order, which OnRouterIdle consumers observe. The
+// in-place filter keeps the survivor list sorted.
+func (n *Network) retireRouters(cycle sim.Cycle) {
+	kept := n.routerList[:0]
+	for _, id := range n.routerList {
+		if n.Routers[id].Idle() {
+			n.routerAwake[id] = false
+			n.scheme.OnRouterIdle(topology.NodeID(id), cycle)
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	n.routerList = kept
+}
+
+// retireNIs removes idle NIs from the active set. NI retirement has no
+// scheme callback, so only the surviving set matters, not the visit order;
+// the list may end with an unsorted tail of mid-cycle wakes, which the
+// next walk's sort folds in.
+func (n *Network) retireNIs() {
+	kept := n.niList[:0]
+	for _, id := range n.niList {
+		if n.NIs[id].Idle() {
+			n.niAwake[id] = false
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	n.niList = kept
 }
 
 // deliverEvents drains the current wheel slot, waking the component each
@@ -480,6 +646,7 @@ func (n *Network) deliverEvents(cycle sim.Cycle, wake bool) {
 	slot := cycle % wheelSize
 	events := n.wheel[slot]
 	n.wheel[slot] = events[:0]
+	n.wheelPending -= len(events)
 	for i := range events {
 		e := &events[i]
 		switch e.kind {
@@ -562,49 +729,63 @@ func (n *Network) stepActive() {
 	n.beginCycleFaults(cycle)
 	n.deliverEvents(cycle, true)
 	n.scheme.StartOfCycle(cycle)
-	if n.awakeRouters > 0 {
-		for id, awake := range n.routerAwake {
-			if awake {
-				n.Routers[id].Step(cycle)
-			}
-		}
-	}
-	if n.awakeNIs > 0 {
-		for id, awake := range n.niAwake {
-			if awake {
-				n.NIs[id].step(cycle)
-			}
-		}
-	}
+	n.walkRouters(cycle)
+	n.walkNIs(cycle)
 	// Retirement pass: afterwards the awake sets hold exactly the
 	// components with pending work, which EndOfCycle detection (UPP's
-	// RouterActive check) relies on.
-	if n.awakeRouters > 0 {
-		for id, awake := range n.routerAwake {
-			if awake && n.Routers[id].Idle() {
-				n.routerAwake[id] = false
-				n.awakeRouters--
-				n.scheme.OnRouterIdle(topology.NodeID(id), cycle)
-			}
-		}
-	}
-	if n.awakeNIs > 0 {
-		for id, awake := range n.niAwake {
-			if awake && n.NIs[id].Idle() {
-				n.niAwake[id] = false
-				n.awakeNIs--
-			}
-		}
-	}
+	// RouterActive check and AwakeRouterIDs walk) relies on.
+	n.retireRouters(cycle)
+	n.retireNIs()
 	n.scheme.EndOfCycle(cycle)
 	n.cycle++
 }
 
-// Run advances the network by cycles steps.
+// Run advances the network by cycles steps, batching event-wheel
+// advancement across provably empty cycles (see skipIdleCycles).
 func (n *Network) Run(cycles int) {
-	for i := 0; i < cycles; i++ {
+	end := n.cycle + sim.Cycle(cycles)
+	for n.cycle < end {
+		if n.canSkipIdleCycles() {
+			n.skipIdleCycles(end)
+			if n.cycle >= end {
+				return
+			}
+		}
 		n.Step()
 	}
+}
+
+// canSkipIdleCycles reports whether the next cycle is provably a complete
+// no-op that the clock can jump over: no component awake (so the walks and
+// retirement passes would do nothing), the scheme inert (so its per-cycle
+// hooks are no-ops — the scheme certifies this itself via Inert), no fault
+// injector (fault plans fire on absolute cycles regardless of activity),
+// and not the naive kernel (which by definition steps everything every
+// cycle and is the golden reference for that behavior). Events already in
+// the wheel don't block skipping — skipIdleCycles stops at the first
+// non-empty slot.
+func (n *Network) canSkipIdleCycles() bool {
+	return n.kernel != KernelNaive && n.faults == nil &&
+		len(n.routerList) == 0 && len(n.niList) == 0 && n.scheme.Inert()
+}
+
+// skipIdleCycles advances the clock to the next cycle with a pending wheel
+// event, or to limit when the wheel is empty. Skipped cycles are exactly
+// the cycles Step would have spent draining an empty slot and running
+// no-op hooks: nothing observable changes, so traces, stats and drain
+// outcomes stay bit-identical to stepping through them one by one.
+func (n *Network) skipIdleCycles(limit sim.Cycle) {
+	if n.wheelPending == 0 {
+		n.cycle = limit
+		return
+	}
+	for c := n.cycle; c < limit; c++ {
+		if len(n.wheel[c%wheelSize]) > 0 {
+			n.cycle = c
+			return
+		}
+	}
+	n.cycle = limit
 }
 
 // recordEjected updates latency statistics when a packet fully ejects.
@@ -643,6 +824,22 @@ func (n *Network) Drain(maxCycles int, stallLimit sim.Cycle) error {
 			// The watchdog: a structured diagnostic (diag.go) whose first
 			// line keeps the historical message.
 			return n.stallDiagnostic(stallLimit)
+		}
+		if n.canSkipIdleCycles() {
+			// Jump over empty cycles, but never past the point where the
+			// loop's own checks (deadline, stall watchdog) would fire — the
+			// continue re-runs them at the new cycle, so the drain outcome
+			// and the watchdog's trigger cycle are unchanged.
+			limit := deadline
+			if s := n.lastEject + stallLimit + 1; s < limit {
+				limit = s
+			}
+			if before := n.cycle; limit > before {
+				n.skipIdleCycles(limit)
+				if n.cycle != before {
+					continue
+				}
+			}
 		}
 		n.Step()
 	}

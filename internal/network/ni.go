@@ -86,6 +86,14 @@ func newNI(net *Network, node topology.NodeID, r router.Microarch, cfg router.Co
 		ejCap:   ejCap,
 		credits: make([]int16, cfg.NumVCs()),
 		busy:    make([]bool, cfg.NumVCs()),
+		// Reassembly and completion backlogs are bounded by ejCap packets
+		// per VNet (an ejection entry is held until the PE consumes the
+		// message), so both lists are carved at their maximum up front: on
+		// systems with thousands of NIs the lazy growth would otherwise
+		// trickle steady-state allocations for as long as some NI
+		// somewhere has yet to see its worst case.
+		asm:      make([]asmSlot, 0, ejCap*message.NumVNets),
+		complete: make([]completed, 0, ejCap*message.NumVNets),
 	}
 	for i := range ni.credits {
 		ni.credits[i] = int16(cfg.BufferDepth)

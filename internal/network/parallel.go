@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
 	"strconv"
 	"sync"
 
@@ -74,6 +75,10 @@ type shard struct {
 	n      *Network
 	lo, hi int
 	log    []commitOp
+	// ids is this cycle's segment of the sorted awake-router list falling
+	// in [lo, hi) — sliced out by computeShards on the coordinator before
+	// dispatch, so compute is O(awake in shard), not O(shard width).
+	ids []int32
 }
 
 // DeliverFlit implements router.EventSink for the shard's routers.
@@ -98,11 +103,8 @@ func (sh *shard) DeliverCredit(to topology.NodeID, port topology.PortID, vc int8
 // the same relative order the sequential walk visits them in.
 func (sh *shard) compute(cycle sim.Cycle) {
 	routers := sh.n.Routers
-	awake := sh.n.routerAwake
-	for id := sh.lo; id < sh.hi; id++ {
-		if awake[id] {
-			routers[id].Step(cycle)
-		}
+	for _, id := range sh.ids {
+		routers[id].Step(cycle)
 	}
 }
 
@@ -198,52 +200,41 @@ func (n *Network) stepParallel() {
 	n.beginCycleFaults(cycle)
 	n.deliverEvents(cycle, true)
 	n.scheme.StartOfCycle(cycle)
-	if n.awakeRouters >= parallelMinAwake {
+	if len(n.routerList) >= parallelMinAwake {
 		n.computePhases++
+		slices.Sort(n.routerList)
 		n.computeShards(cycle)
 		n.commitShards()
-	} else if n.awakeRouters > 0 {
+	} else if len(n.routerList) > 0 {
 		n.inlinePhases++
-		for id, awake := range n.routerAwake {
-			if awake {
-				n.Routers[id].Step(cycle)
-			}
-		}
+		n.walkRouters(cycle)
 	}
-	if n.awakeNIs > 0 {
-		for id, awake := range n.niAwake {
-			if awake {
-				n.NIs[id].step(cycle)
-			}
-		}
-	}
-	if n.awakeRouters > 0 {
-		for id, awake := range n.routerAwake {
-			if awake && n.Routers[id].Idle() {
-				n.routerAwake[id] = false
-				n.awakeRouters--
-				n.scheme.OnRouterIdle(topology.NodeID(id), cycle)
-			}
-		}
-	}
-	if n.awakeNIs > 0 {
-		for id, awake := range n.niAwake {
-			if awake && n.NIs[id].Idle() {
-				n.niAwake[id] = false
-				n.awakeNIs--
-			}
-		}
-	}
+	n.walkNIs(cycle)
+	n.retireRouters(cycle)
+	n.retireNIs()
 	n.scheme.EndOfCycle(cycle)
 	n.cycle++
 }
 
 // computeShards runs phase 1: shard 0 on the coordinator (saves one
 // handoff and keeps single-shard configurations pool-free), the rest on
-// the shared compute pool. The WaitGroup join is the happens-before edge
-// that publishes every worker's router mutations and log appends back to
-// the coordinator.
+// the shared compute pool. Each shard receives its contiguous segment of
+// the sorted awake-router list (so per-cycle work is proportional to the
+// awake count, not the node count); the WaitGroup join is the
+// happens-before edge that publishes every worker's router mutations and
+// log appends back to the coordinator.
 func (n *Network) computeShards(cycle sim.Cycle) {
+	list := n.routerList // sorted by stepParallel
+	start := 0
+	for i := range n.shards {
+		sh := &n.shards[i]
+		end := start
+		for end < len(list) && int(list[end]) < sh.hi {
+			end++
+		}
+		sh.ids = list[start:end]
+		start = end
+	}
 	n.inCompute = true
 	if len(n.shards) > 1 {
 		n.computeWG.Add(len(n.shards) - 1)

@@ -60,6 +60,16 @@ type Scheme interface {
 	// protocol state (popup FSMs, tokens, control-plane buffers) for the
 	// deadlock watchdog's stall report. Empty means nothing to report.
 	Diagnostic() string
+	// Inert reports that the scheme's StartOfCycle and EndOfCycle hooks
+	// are provably no-ops right now AND will stay no-ops until some
+	// network event re-engages the scheme — no live popup, outstanding
+	// handshake, armed timeout or any other state that advances with the
+	// clock. When everything else is idle too, the kernel uses this to
+	// skip whole cycles in one jump (Network.Run/Drain), so a wrong true
+	// here breaks bit-identity with the naive kernel: stateful schemes
+	// must override it and err towards false. The BaseScheme default
+	// (true) is only correct for schemes whose hooks are no-ops.
+	Inert() bool
 }
 
 // BaseScheme is a no-op Scheme for embedding; concrete schemes override
@@ -94,6 +104,11 @@ func (BaseScheme) OnRouterIdle(topology.NodeID, sim.Cycle) {}
 
 // Diagnostic reports nothing.
 func (BaseScheme) Diagnostic() string { return "" }
+
+// Inert is always true for the no-op hooks: a scheme that overrides
+// StartOfCycle or EndOfCycle with per-cycle state machines must override
+// Inert too (see the interface comment).
+func (BaseScheme) Inert() bool { return true }
 
 // None is the recovery-free fully-adaptive configuration: static-binding
 // routing with no deadlock handling at all. Integration-induced deadlocks

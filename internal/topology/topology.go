@@ -215,6 +215,15 @@ type Topology struct {
 	// cores caches the traffic endpoints: every chiplet-layer router has a
 	// core + NI attached (Fig. 1).
 	cores []NodeID
+	// coreBase caches, per chiplet, the index of its first router within
+	// cores, making CoreIndex O(1) instead of O(chiplets).
+	coreBase []int
+
+	// linkArena, when pre-sized by a builder (BuildScale), backs the Link
+	// values pointed to by Links so an 8k-router system allocates its links
+	// in one block instead of one heap object per link. Builders that leave
+	// it empty fall back to per-link allocation.
+	linkArena []Link
 }
 
 // Node returns the node with the given id. The returned pointer stays valid
@@ -238,11 +247,7 @@ func (t *Topology) CoreIndex(id NodeID) int {
 		return -1
 	}
 	c := &t.Chiplets[n.Chiplet]
-	base := 0
-	for i := 0; i < n.Chiplet; i++ {
-		base += len(t.Chiplets[i].Routers)
-	}
-	return base + n.Y*c.Width + n.X
+	return t.coreBase[n.Chiplet] + n.Y*c.Width + n.X
 }
 
 // InterposerAt returns the interposer router at (x, y).
@@ -275,7 +280,16 @@ func (t *Topology) InterposerUnder(b NodeID) NodeID {
 // addLink wires a bidirectional link between a and b with the given
 // directions as seen from a.
 func (t *Topology) addLink(a, b NodeID, dirFromA Direction, latency int, vertical bool) *Link {
-	l := &Link{
+	var l *Link
+	if cap(t.linkArena) > len(t.linkArena) {
+		// Arena-backed (BuildScale): the pointer stays valid because the
+		// arena was pre-sized to the exact link count and never regrows.
+		t.linkArena = append(t.linkArena, Link{})
+		l = &t.linkArena[len(t.linkArena)-1]
+	} else {
+		l = &Link{}
+	}
+	*l = Link{
 		ID:       len(t.Links),
 		A:        a,
 		B:        b,
@@ -306,13 +320,23 @@ func (t *Topology) finish() {
 		}
 	}
 	t.cores = t.cores[:0]
+	t.coreBase = make([]int, len(t.Chiplets))
 	for ci := range t.Chiplets {
+		t.coreBase[ci] = len(t.cores)
 		t.cores = append(t.cores, t.Chiplets[ci].Routers...)
 	}
 }
 
+// validateDeepMaxNodes bounds the quadratic duplicate-link scan: above this
+// node count Validate skips it unless the uppdebug build tag compiles it
+// back in (validateDeepAlways). The fast per-node checks always run.
+const validateDeepMaxNodes = 1024
+
 // Validate checks structural invariants and returns a descriptive error if
-// any fail. It is cheap enough to call from tests on every built topology.
+// any fail. The per-node checks are O(ports) and always run; the pairwise
+// duplicate-link scan is O(links²) and is skipped above validateDeepMaxNodes
+// nodes unless built with -tags uppdebug, so validating a 4k-router scale
+// system stays cheap enough to run on every build.
 func (t *Topology) Validate() error {
 	for i := range t.Nodes {
 		n := &t.Nodes[i]
@@ -322,7 +346,7 @@ func (t *Topology) Validate() error {
 		if len(n.Ports) == 0 || n.Ports[0].Dir != Local {
 			return fmt.Errorf("node %d: port 0 must be the local port", i)
 		}
-		seen := map[Direction]int{}
+		var seen [NumDirections]uint8
 		for pi := 1; pi < len(n.Ports); pi++ {
 			p := &n.Ports[pi]
 			if p.Link == nil {
@@ -350,6 +374,11 @@ func (t *Topology) Validate() error {
 			}
 		}
 	}
+	if len(t.Nodes) <= validateDeepMaxNodes || validateDeepAlways {
+		if err := t.validateDuplicateLinks(); err != nil {
+			return err
+		}
+	}
 	for _, c := range t.Chiplets {
 		if len(c.Boundary) == 0 {
 			return fmt.Errorf("chiplet %d has no boundary routers", c.Index)
@@ -370,6 +399,24 @@ func (t *Topology) Validate() error {
 		}
 		if n.BoundBoundary == InvalidNode {
 			return fmt.Errorf("core node %d has no bound boundary router", id)
+		}
+	}
+	return nil
+}
+
+// validateDuplicateLinks is the deep pairwise scan: no two distinct links
+// may connect the same unordered pair of nodes (every mesh edge and every
+// vertical attachment is a single physical channel). Quadratic in the link
+// count; Validate gates it — see validateDeepMaxNodes.
+func (t *Topology) validateDuplicateLinks() error {
+	for i := range t.Links {
+		a, b := t.Links[i].A, t.Links[i].B
+		for j := i + 1; j < len(t.Links); j++ {
+			c, d := t.Links[j].A, t.Links[j].B
+			if (a == c && b == d) || (a == d && b == c) {
+				return fmt.Errorf("links %d and %d both connect nodes %d and %d",
+					t.Links[i].ID, t.Links[j].ID, a, b)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,9 @@
+//go:build !uppdebug
+
+package topology
+
+// validateDeepAlways gates the quadratic duplicate-link scan in Validate.
+// Off by default so large scale topologies validate in linear time; build
+// with -tags uppdebug to run the deep scan at every size (see
+// validatedebug_on.go).
+const validateDeepAlways = false

@@ -1,0 +1,8 @@
+//go:build uppdebug
+
+package topology
+
+// validateDeepAlways: uppdebug builds run the quadratic duplicate-link scan
+// on every topology regardless of size; see validatedebug_off.go for the
+// default.
+const validateDeepAlways = true

@@ -1,0 +1,26 @@
+//go:build !uppdebug
+
+package topology
+
+import "testing"
+
+// TestValidateGateSkipsDeepScanAtScale pins the fast path: in a default
+// (non-uppdebug) build, a topology above validateDeepMaxNodes nodes skips
+// the quadratic duplicate-link scan, so an injected duplicate vertical
+// link is NOT caught — the price of linear-time validation at scale. The
+// uppdebug counterpart (validategate_on_test.go) pins that the same defect
+// IS caught when the deep scan is compiled back in.
+func TestValidateGateSkipsDeepScanAtScale(t *testing.T) {
+	topo := MustBuildScale(ScaleLargeConfig())
+	if len(topo.Nodes) <= validateDeepMaxNodes {
+		t.Fatalf("large config has %d nodes, expected > %d", len(topo.Nodes), validateDeepMaxNodes)
+	}
+	injectDuplicateVerticalLink(topo)
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("fast-path Validate was expected to skip the deep scan above the threshold, got: %v", err)
+	}
+	// The deep scan itself still sees it when invoked directly.
+	if err := topo.validateDuplicateLinks(); err == nil {
+		t.Fatal("validateDuplicateLinks missed the injected duplicate link")
+	}
+}

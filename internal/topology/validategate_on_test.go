@@ -1,0 +1,20 @@
+//go:build uppdebug
+
+package topology
+
+import "testing"
+
+// TestValidateGateDeepScanAtScale pins the uppdebug behavior: with the
+// debug tag the quadratic duplicate-link scan runs at every size, so an
+// injected duplicate vertical link in a >1024-node system fails Validate.
+// See validategate_off_test.go for the default fast path.
+func TestValidateGateDeepScanAtScale(t *testing.T) {
+	topo := MustBuildScale(ScaleLargeConfig())
+	if len(topo.Nodes) <= validateDeepMaxNodes {
+		t.Fatalf("large config has %d nodes, expected > %d", len(topo.Nodes), validateDeepMaxNodes)
+	}
+	injectDuplicateVerticalLink(topo)
+	if err := topo.Validate(); err == nil {
+		t.Fatal("uppdebug Validate was expected to run the deep scan and catch the duplicate link")
+	}
+}
