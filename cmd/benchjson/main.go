@@ -24,6 +24,14 @@
 // regime where per-cycle work per shard is finally large enough for the
 // two-phase kernel to show real multicore speedup.
 //
+// With -cache it measures the result cache's wall-clock effect on a
+// fig7-quick subset (the three compared schemes, uniform random, 1 VC):
+// the same sweep run cold into a fresh cache directory, again as pure
+// cache hits, and a third time warm-started (results evicted, post-warmup
+// checkpoints kept), written as BENCH_cache.json. ns_per_cycle here is
+// wall-clock over the cycles the sweep represents, so the three rows
+// share a denominator and the speedup ratios are wall-clock ratios.
+//
 // With -compare old.json new.json it diffs two BENCH_*.json files
 // produced by any of the modes above, prints per-measurement
 // ns_per_cycle deltas, and exits non-zero when any shared measurement
@@ -37,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -45,6 +54,7 @@ import (
 	"uppnoc/internal/experiments"
 	"uppnoc/internal/network"
 	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
 )
 
 // load pairs a label with the offered rate the benchmark injects at.
@@ -449,6 +459,111 @@ func runScale(out string) {
 	writeJSON(out, rep)
 }
 
+// cacheReport is the -cache artifact: the wall-clock cost of one sweep
+// executed cold, from the result cache, and warm-started. The three rows
+// share one denominator (the simulated cycles the sweep represents), so
+// Speedup's ratios are pure wall-clock ratios; cache_hit_vs_cold is the
+// ISSUE's >=10x acceptance number.
+type cacheReport struct {
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// The sweep being measured: scheme x rate grid at these durations.
+	Schemes      []string           `json:"schemes"`
+	Pattern      string             `json:"pattern"`
+	Warmup       int                `json:"warmup"`
+	Measure      int                `json:"measure"`
+	Points       int                `json:"points_per_phase"`
+	Measurements []measurement      `json:"measurements"`
+	Speedup      map[string]float64 `json:"speedup_vs_cold"`
+}
+
+func runCacheBench(out string) {
+	dir, err := os.MkdirTemp("", "uppcache-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	os.Setenv("UPP_CACHE_DIR", dir)
+	defer os.Unsetenv("UPP_CACHE_DIR")
+
+	dur := experiments.QuickDurations()
+	schemes := experiments.ComparedSchemes()
+	rep := cacheReport{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Pattern:   traffic.UniformRandom{}.Name(),
+		Warmup:    dur.Warmup,
+		Measure:   dur.Measure,
+		Speedup:   map[string]float64{},
+	}
+	for _, sch := range schemes {
+		rep.Schemes = append(rep.Schemes, string(sch))
+	}
+	sweep := func() int {
+		points := 0
+		for _, sch := range schemes {
+			spec := experiments.RunSpec{
+				Topo:       topology.BaselineConfig(),
+				Scheme:     sch,
+				VCsPerVNet: 1,
+				Pattern:    traffic.UniformRandom{},
+				Seed:       11,
+				Dur:        dur,
+			}
+			c, err := experiments.SweepRates(spec, experiments.DefaultRates(), string(sch))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			points += len(c.Points)
+		}
+		return points
+	}
+	phase := func(label string) measurement {
+		fmt.Fprintf(os.Stderr, "benchjson: %s sweep (%d schemes x rate grid)...\n", label, len(schemes))
+		start := time.Now()
+		points := sweep()
+		wall := time.Since(start)
+		rep.Points = points
+		cycles := points * (dur.Warmup + dur.Measure)
+		return measurement{
+			Load:       label,
+			Topology:   "baseline",
+			NumRouters: baselineRouters(),
+			Cycles:     cycles,
+			NsPerCycle: float64(wall.Nanoseconds()) / float64(cycles),
+		}
+	}
+	cold := phase("cold")
+	hit := phase("cache_hit")
+	// Evict the results but keep the warm/ checkpoints: the third phase
+	// re-measures every point from its post-warmup snapshot.
+	if err := os.RemoveAll(filepath.Join(dir, "results")); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	warm := phase("warm_start")
+	rep.Measurements = []measurement{cold, hit, warm}
+	rep.Speedup["cache_hit"] = cold.NsPerCycle / hit.NsPerCycle
+	rep.Speedup["warm_start"] = cold.NsPerCycle / warm.NsPerCycle
+	writeJSON(out, rep)
+	hits, misses, warmHits, warmMisses := experiments.CacheCounters()
+	fmt.Fprintf(os.Stderr, "  cold %8.0f ns/cycle, cache_hit %8.3f (%.0fx), warm_start %8.0f (%.2fx); counters: %d hits / %d misses, %d warm hits / %d warm misses\n",
+		cold.NsPerCycle, hit.NsPerCycle, rep.Speedup["cache_hit"],
+		warm.NsPerCycle, rep.Speedup["warm_start"],
+		hits, misses, warmHits, warmMisses)
+	if rep.Speedup["cache_hit"] < 10 {
+		fmt.Fprintf(os.Stderr, "benchjson: WARNING: cache-hit speedup %.1fx below the 10x acceptance bar\n", rep.Speedup["cache_hit"])
+	}
+}
+
 // compareMeasurement is the cross-mode subset of a measurement row used
 // by -compare: every BENCH_*.json variant carries load and ns_per_cycle;
 // kernel and pooling distinguish rows within a file when present.
@@ -586,9 +701,10 @@ func main() {
 	parallel := flag.Bool("parallel", false, "measure all three kernels (naive/active/parallel) with CPU context")
 	routerMode := flag.Bool("router", false, "measure the three router microarchitectures (iq/oq/voq) instead of kernels")
 	scaleMode := flag.Bool("scale", false, "measure the parallel kernel's shard-scaling curves on the scale-out systems (small/large/huge)")
+	cacheMode := flag.Bool("cache", false, "measure the result cache: one sweep cold vs cache-hit vs warm-started")
 	compare := flag.Bool("compare", false, "diff two BENCH_*.json files: benchjson -compare old.json new.json")
 	tolerance := flag.Float64("tolerance", 0.10, "with -compare, ns_per_cycle regression fraction that fails the diff")
-	out := flag.String("out", "", "output JSON path (default BENCH_kernel.json, BENCH_alloc.json with -alloc, BENCH_parallel.json with -parallel, BENCH_router.json with -router, BENCH_scale.json with -scale)")
+	out := flag.String("out", "", "output JSON path (default BENCH_kernel.json, BENCH_alloc.json with -alloc, BENCH_parallel.json with -parallel, BENCH_router.json with -router, BENCH_scale.json with -scale, BENCH_cache.json with -cache)")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
@@ -607,6 +723,8 @@ func main() {
 			*out = "BENCH_router.json"
 		case *scaleMode:
 			*out = "BENCH_scale.json"
+		case *cacheMode:
+			*out = "BENCH_cache.json"
 		default:
 			*out = "BENCH_kernel.json"
 		}
@@ -625,6 +743,10 @@ func main() {
 	}
 	if *scaleMode {
 		runScale(*out)
+		return
+	}
+	if *cacheMode {
+		runCacheBench(*out)
 		return
 	}
 

@@ -151,4 +151,11 @@ func main() {
 			}
 		}
 	}
+	if experiments.CacheDir() != "" {
+		// Machine-greppable cache summary (CI's cache-smoke job asserts a
+		// re-run reports misses=0).
+		hits, misses, warmHits, warmMisses := experiments.CacheCounters()
+		fmt.Fprintf(os.Stderr, "figures: result cache hits=%d misses=%d warm_hits=%d warm_misses=%d\n",
+			hits, misses, warmHits, warmMisses)
+	}
 }

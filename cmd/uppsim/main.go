@@ -19,6 +19,13 @@
 //	uppsim -scheme upp -workload "training_step:gap=500,iters=4"
 //	uppsim -scheme upp -workload all_to_all -record a2a.trace
 //	uppsim -scheme upp -replay a2a.trace
+//
+// A rate-driven run can be checkpointed mid-flight and resumed
+// bit-identically; the checkpoint embeds its spec, so -restore needs no
+// other flags (DESIGN.md §14):
+//
+//	uppsim -scheme upp -rate 0.05 -snapshot run.upwr -at 5000
+//	uppsim -restore run.upwr
 package main
 
 import (
@@ -57,6 +64,9 @@ func main() {
 		replay     = flag.String("replay", "", "replay a recorded trace open-loop instead of running a workload")
 		routerArch = flag.String("router", "", "router microarchitecture: iq | oq | voq (default $UPP_ROUTER, then iq)")
 		scale      = flag.String("scale", "", "scale-out preset: small (512 routers) | large (2048) | huge (8192); replaces -large/-boundaries")
+		snapshot   = flag.String("snapshot", "", "write a checkpoint of the run's state to this file when it reaches -at, then continue")
+		snapAt     = flag.Int64("at", 0, "with -snapshot: absolute cycle to checkpoint at (warmup starts the timeline at 0)")
+		restore    = flag.String("restore", "", "resume a checkpoint written by -snapshot and run it to its schedule's end")
 	)
 	flag.Parse()
 
@@ -82,6 +92,25 @@ func main() {
 		if *replay != "" || *wl != "" {
 			fatal(fmt.Errorf("-scale does not combine with -replay/-workload"))
 		}
+	}
+
+	if (*snapshot != "" || *restore != "") && (*wl != "" || *replay != "") {
+		fatal(fmt.Errorf("-snapshot/-restore checkpoint rate-driven runs, not -workload/-replay"))
+	}
+	if *restore != "" {
+		if *snapshot != "" {
+			fatal(fmt.Errorf("-restore does not combine with -snapshot"))
+		}
+		data, err := os.ReadFile(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		pt, spec, err := experiments.RunRestored(data)
+		if err != nil {
+			fatal(err)
+		}
+		printPoint(string(spec.Scheme), spec.Pattern.Name(), pt, *asJSON)
+		return
 	}
 
 	if *replay != "" {
@@ -114,31 +143,52 @@ func main() {
 	spec.TraceLimit = *trace
 	spec.Adaptive = *adaptive
 	spec.VCT = *vct
-	pt, err := experiments.Run(spec)
+	var pt experiments.Point
+	if *snapshot != "" {
+		f, cerr := os.Create(*snapshot)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		pt, err = experiments.RunCheckpointed(spec, *snapAt, f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "uppsim: checkpoint at cycle %d written to %s\n", *snapAt, *snapshot)
+		}
+	} else {
+		pt, err = experiments.Run(spec)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	if *asJSON {
+	printPoint(*schemeName, *patName, pt, *asJSON)
+}
+
+// printPoint renders a rate-driven run's outcome, as JSON or the aligned
+// text block.
+func printPoint(schemeName, patName string, pt experiments.Point, asJSON bool) {
+	if asJSON {
 		out, err := json.MarshalIndent(struct {
 			Scheme  string
 			Pattern string
 			experiments.Point
-		}{*schemeName, *patName, pt}, "", "  ")
+		}{schemeName, patName, pt}, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(string(out))
 		return
 	}
-	fmt.Printf("scheme            %s\n", *schemeName)
-	fmt.Printf("pattern           %s\n", *patName)
+	fmt.Printf("scheme            %s\n", schemeName)
+	fmt.Printf("pattern           %s\n", patName)
 	fmt.Printf("offered load      %.4f flits/cycle/node\n", pt.Rate)
 	fmt.Printf("accepted load     %.4f flits/cycle/node\n", pt.Throughput)
 	fmt.Printf("avg latency       %.2f cycles (network %.2f + queueing %.2f)\n", pt.TotalLat, pt.NetLat, pt.QueueLat)
 	fmt.Printf("p50/p99/max       %d / %d / %d cycles\n", pt.LatP50, pt.LatP99, pt.LatMax)
 	fmt.Printf("packets measured  %d\n", pt.Packets)
 	fmt.Printf("saturated         %v\n", pt.Saturated)
-	if *schemeName == "upp" {
+	if schemeName == "upp" {
 		fmt.Printf("upward packets    %d\n", pt.Upward)
 		fmt.Printf("popups completed  %d\n", pt.Popups)
 		fmt.Printf("signal hops       %d\n", pt.Signals)

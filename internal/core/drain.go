@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"uppnoc/internal/network"
 	"uppnoc/internal/router"
 	"uppnoc/internal/sim"
 )
@@ -118,14 +119,8 @@ func (u *UPP) forwardPopupFlit(p *popup, i int, r router.Microarch, cycle sim.Cy
 	}
 	r.SendDirect(out)
 	nextLatch.reserved = true
-	vnet := p.vnet
-	nextNode := p.path[i+1].node
-	u.net.Schedule(cycle+1+u.linkLat(), func(arrival sim.Cycle) {
-		l := &u.nodes[nextNode].popupLatch[vnet]
-		l.reserved = false
-		l.valid = true
-		l.flit = f
-		l.ready = arrival // circuit switching: movable the cycle it lands
+	u.net.ScheduleCall(cycle+1+u.linkLat(), network.SchemeCall{
+		Kind: uppCallLatch, Node: p.path[i+1].node, B: uint64(p.vnet), Flit: f, HasFlit: true,
 	})
 	return true
 }
@@ -160,14 +155,8 @@ func (u *UPP) drainOrigin(p *popup, cycle sim.Cycle) {
 		p.tailLeftOrigin = true
 	}
 	nextLatch.reserved = true
-	vnet := p.vnet
-	nextNode := p.path[1].node
-	u.net.Schedule(cycle+1+u.linkLat(), func(arrival sim.Cycle) {
-		l := &u.nodes[nextNode].popupLatch[vnet]
-		l.reserved = false
-		l.valid = true
-		l.flit = f
-		l.ready = arrival
+	u.net.ScheduleCall(cycle+1+u.linkLat(), network.SchemeCall{
+		Kind: uppCallLatch, Node: p.path[1].node, B: uint64(p.vnet), Flit: f, HasFlit: true,
 	})
 }
 

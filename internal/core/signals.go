@@ -66,10 +66,9 @@ func (u *UPP) trySendFromOrigin(p *popup, kind sigKind, cycle sim.Cycle) {
 	if fate.Drop {
 		return
 	}
-	id, hopIdx, node := p.id, 1, p.path[1].node
 	first.reqStop.reserved = true
-	u.net.Schedule(cycle+1+u.linkLat()+fate.Delay, func(arrival sim.Cycle) {
-		u.signalArrive(id, kind, hopIdx, node, arrival)
+	u.net.ScheduleCall(cycle+1+u.linkLat()+fate.Delay, network.SchemeCall{
+		Kind: uppCallSignal, Node: p.path[1].node, A: p.id, B: uint64(kind), Hop: 1,
 	})
 }
 
@@ -175,9 +174,8 @@ func (u *UPP) moveReqStop(node topology.NodeID, cycle sim.Cycle) {
 		return
 	}
 	next.reqStop.reserved = true
-	nextNode := p.path[hopIdx].node
-	u.net.Schedule(cycle+1+u.linkLat()+fate.Delay, func(arrival sim.Cycle) {
-		u.signalArrive(id, kind, hopIdx, nextNode, arrival)
+	u.net.ScheduleCall(cycle+1+u.linkLat()+fate.Delay, network.SchemeCall{
+		Kind: uppCallSignal, Node: p.path[hopIdx].node, A: id, B: uint64(kind), Hop: int32(hopIdx),
 	})
 }
 
@@ -222,20 +220,7 @@ func (u *UPP) deliverReqStop(p *popup, kind sigKind, cycle sim.Cycle) {
 	}
 	p.resRequested = true
 	u.net.Trace("upp", p.dst, "popup %d: UPP_req at destination NI (vnet %s)", p.id, p.vnet)
-	id, vnet := p.id, p.vnet
-	ni.RequestReservation(p.vnet, p.id, cycle, func(grantCycle sim.Cycle) {
-		u.net.Stats.ReservationsGranted++
-		pp := u.popups[id]
-		if pp == nil {
-			// Granted for a force-retired popup (abortPopup removes its
-			// waiter, so this should be unreachable): recycle the entry.
-			ni.CancelReservation(vnet, id)
-			u.net.Stats.LateSignals++
-			return
-		}
-		pp.ackLaunched = true
-		u.launchAck(pp, grantCycle)
-	})
+	ni.RequestReservation(p.vnet, p.id, cycle, u.makeGrant(ni, p.id, p.vnet))
 }
 
 // assertEncodable checks that the signal state being transmitted fits the
@@ -320,8 +305,8 @@ func (u *UPP) moveAck(node topology.NodeID, a ackEntry, cycle sim.Cycle) bool {
 		if fate.Drop {
 			return true
 		}
-		u.net.Schedule(cycle+1+u.linkLat()+fate.Delay, func(arrival sim.Cycle) {
-			u.ackAtOrigin(id, arrival)
+		u.net.ScheduleCall(cycle+1+u.linkLat()+fate.Delay, network.SchemeCall{
+			Kind: uppCallAckOrigin, A: id,
 		})
 		return true
 	}
@@ -338,26 +323,31 @@ func (u *UPP) moveAck(node topology.NodeID, a ackEntry, cycle sim.Cycle) bool {
 		return true
 	}
 	prev.ackRes++
-	prevNode := p.path[hopIdx].node
-	u.net.Schedule(cycle+1+u.linkLat()+fate.Delay, func(arrival sim.Cycle) {
-		pn := &u.nodes[prevNode]
-		pn.ackRes--
-		if u.popups[id] == nil {
-			// Landed after its popup was force-retired: discard.
+	u.net.ScheduleCall(cycle+1+u.linkLat()+fate.Delay, network.SchemeCall{
+		Kind: uppCallAckRelay, Node: p.path[hopIdx].node, A: id, Hop: int32(hopIdx),
+	})
+	return true
+}
+
+// ackRelayArrive lands an ack one reverse hop down at node — the
+// delivery half of moveAck's relay (dispatched via uppCallAckRelay).
+func (u *UPP) ackRelayArrive(node topology.NodeID, id uint64, hopIdx int, arrival sim.Cycle) {
+	pn := &u.nodes[node]
+	pn.ackRes--
+	if u.popups[id] == nil {
+		// Landed after its popup was force-retired: discard.
+		u.net.Stats.LateSignals++
+		return
+	}
+	for i := range pn.acks {
+		if pn.acks[i].popupID == id {
+			// A duplicate ack (retried req) caught up with the original
+			// at this node: merge (the OR of one-hot VNet fields).
 			u.net.Stats.LateSignals++
 			return
 		}
-		for i := range pn.acks {
-			if pn.acks[i].popupID == id {
-				// A duplicate ack (retried req) caught up with the original
-				// at this node: merge (the OR of one-hot VNet fields).
-				u.net.Stats.LateSignals++
-				return
-			}
-		}
-		pn.acks = append(pn.acks, ackEntry{popupID: id, hopIdx: hopIdx, ready: arrival + 1})
-	})
-	return true
+	}
+	pn.acks = append(pn.acks, ackEntry{popupID: id, hopIdx: hopIdx, ready: arrival + 1})
 }
 
 // ackAtOrigin processes the UPP_ack reaching the origin interposer router:

@@ -801,6 +801,64 @@ func (u *UPP) Diagnostic() string {
 	return b.String()
 }
 
+// Scheduled-call kinds: every deferred protocol action UPP used to
+// schedule as a closure is now a serializable network.SchemeCall, so a
+// snapshot can capture signals and popup flits mid-flight (DESIGN.md
+// §14). Delivery order and timing are identical to the closure form —
+// same wheel slot, same append order.
+const (
+	// uppCallSignal lands a req/stop at path hop Hop of popup A
+	// (B carries the sigKind) on node Node.
+	uppCallSignal uint8 = iota + 1
+	// uppCallAckOrigin lands popup A's UPP_ack at its origin router.
+	uppCallAckOrigin
+	// uppCallAckRelay lands popup A's ack in node Node's ack buffer at
+	// reverse hop Hop.
+	uppCallAckRelay
+	// uppCallLatch fills node Node's per-VNet (B) popup latch with Flit.
+	uppCallLatch
+)
+
+// OnScheduledCall implements network.Scheme: the dispatch half of the
+// closure-free deferred actions above.
+func (u *UPP) OnScheduledCall(c network.SchemeCall, cycle sim.Cycle) {
+	switch c.Kind {
+	case uppCallSignal:
+		u.signalArrive(c.A, sigKind(c.B), int(c.Hop), c.Node, cycle)
+	case uppCallAckOrigin:
+		u.ackAtOrigin(c.A, cycle)
+	case uppCallAckRelay:
+		u.ackRelayArrive(c.Node, c.A, int(c.Hop), cycle)
+	case uppCallLatch:
+		l := &u.nodes[c.Node].popupLatch[c.B]
+		l.reserved = false
+		l.valid = true
+		l.flit = c.Flit
+		l.ready = cycle // circuit switching: movable the cycle it lands
+	default:
+		panic(fmt.Sprintf("upp: unknown scheduled call kind %d", c.Kind))
+	}
+}
+
+// makeGrant builds the reservation-grant callback for popup id at ni.
+// Factored out of deliverReqStop so Restore can rebind the callback of
+// a deserialized reservation waiter to an identical closure.
+func (u *UPP) makeGrant(ni *network.NI, id uint64, vnet message.VNet) func(grantCycle sim.Cycle) {
+	return func(grantCycle sim.Cycle) {
+		u.net.Stats.ReservationsGranted++
+		pp := u.popups[id]
+		if pp == nil {
+			// Granted for a force-retired popup (abortPopup removes its
+			// waiter, so this should be unreachable): recycle the entry.
+			ni.CancelReservation(vnet, id)
+			u.net.Stats.LateSignals++
+			return
+		}
+		pp.ackLaunched = true
+		u.launchAck(pp, grantCycle)
+	}
+}
+
 // OnPacketEjected implements network.Scheme: a fully ejected popup packet
 // completes its recovery. Popup packets never eject through the normal
 // router datapath (pickInputVC skips popup flits in the destination

@@ -78,13 +78,17 @@ func latencyFigure(id string, sysCfg topology.SystemConfig, patterns []traffic.P
 	for _, vcs := range []int{1, 4} {
 		for _, pat := range patterns {
 			for _, sch := range ComparedSchemes() {
+				// Named scheme, not a SchemeOverride closure: Run's default
+				// path reuses the composable routing tables anyway, and a
+				// canonicalizable spec lets the result cache serve these
+				// sweeps (see cache.go).
 				spec := RunSpec{
-					Topo:           sysCfg,
-					SchemeOverride: cachedScheme(sysCfg, sch),
-					VCsPerVNet:     vcs,
-					Pattern:        pat,
-					Seed:           11,
-					Dur:            dur,
+					Topo:       sysCfg,
+					Scheme:     sch,
+					VCsPerVNet: vcs,
+					Pattern:    pat,
+					Seed:       11,
+					Dur:        dur,
 				}
 				label := fmt.Sprintf("%s-%dVC-%s", sch, vcs, pat.Name())
 				opts.Progress.log("%s: sweeping %s", id, label)

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode feeds corrupted, truncated and mutated snapshot
+// bytes to the UPWS decoder. The contract under test: ReadSnapshot on a
+// fixed, freshly-built environment returns a structured error (or nil for
+// the pristine bytes) and never panics — the decoder's bounds checks plus
+// its recover backstop must absorb anything the fuzzer constructs. The
+// seed corpus is a real mid-measurement checkpoint of a loaded UPP run.
+func FuzzSnapshotDecode(f *testing.F) {
+	spec := snapSpec(SchemeUPP, "iq")
+	var buf bytes.Buffer
+	if _, err := RunCheckpointed(spec, 700, &buf); err != nil {
+		f.Fatal(err)
+	}
+	_, snapshot, err := splitCheckpoint(buf.Bytes())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snapshot)
+	f.Add(snapshot[:len(snapshot)/2])
+	f.Add(snapshot[:8])
+	f.Add([]byte{})
+	f.Add([]byte("UPWS"))
+	flipped := append([]byte(nil), snapshot...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, g, err := BuildRun(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Error or nil are both fine; a panic escaping fails the fuzz.
+		_ = n.ReadSnapshot(data, g)
+	})
+}
+
+// FuzzCheckpointSplit fuzzes the UPWR container framing: arbitrary bytes
+// must either split cleanly or produce an error, never panic or return a
+// spec/snapshot slice that strays outside the input.
+func FuzzCheckpointSplit(f *testing.F) {
+	spec := snapSpec(SchemeUPP, "iq")
+	var buf bytes.Buffer
+	if _, err := RunCheckpointed(spec, 500, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("UPWR"))
+	f.Add([]byte("UPWR\xff\xff\xff\xff"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		specBytes, snapshot, err := splitCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if len(specBytes)+len(snapshot) > len(data) {
+			t.Fatalf("split returned %d+%d bytes from a %d-byte input",
+				len(specBytes), len(snapshot), len(data))
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"uppnoc/internal/faults"
 	"uppnoc/internal/network"
+	"uppnoc/internal/sim"
 	"uppnoc/internal/topology"
 	"uppnoc/internal/traffic"
 )
@@ -76,8 +77,36 @@ type Point struct {
 // it (the paper's Fig. 7 y-axis tops out at 100 cycles).
 const latencyCap = 100.0
 
-// Run executes one simulation point.
+// Run executes one simulation point. When the result cache is enabled
+// (UPP_CACHE_DIR, see cache.go) and the spec is canonicalizable, a cached
+// Point is returned without simulating, and a cold run may restore a
+// warm-start checkpoint to skip the warmup phase; both reproduce the
+// uncached run bit-identically.
 func Run(spec RunSpec) (Point, error) {
+	dir := CacheDir()
+	env, canonical, cacheable := canonicalSpec(spec)
+	if dir == "" || !cacheable {
+		return runMeasured(spec, nil)
+	}
+	hash := cacheHash(canonical)
+	if pt, ok := loadCachedPoint(dir, hash, canonical); ok {
+		cacheHits.Add(1)
+		return pt, nil
+	}
+	cacheMisses.Add(1)
+	pt, err := runMeasured(spec, newWarmState(dir, env))
+	if err == nil {
+		storeCachedPoint(dir, hash, canonical, pt)
+	}
+	return pt, err
+}
+
+// BuildRun constructs the simulation environment for one spec — the
+// topology (with any static faults), the scheme, the network (with any
+// runtime fault plan attached) and the traffic generator — without
+// running a cycle. Run drives this; uppsim's checkpoint flags and the
+// warm-start machinery rebuild identical environments from it.
+func BuildRun(spec RunSpec) (*network.Network, *traffic.Generator, error) {
 	var topo *topology.Topology
 	var err error
 	if spec.Scale != nil {
@@ -86,16 +115,16 @@ func Run(spec RunSpec) (Point, error) {
 		topo, err = topology.Build(spec.Topo)
 	}
 	if err != nil {
-		return Point{}, err
+		return nil, nil, err
 	}
 	if spec.Faults > 0 {
 		if _, err := topo.InjectFaults(spec.Faults, spec.FaultSeed); err != nil {
-			return Point{}, err
+			return nil, nil, err
 		}
 	}
 	if spec.FaultsPerLayer > 0 {
 		if _, err := topo.InjectFaultsPerLayer(spec.FaultsPerLayer, spec.FaultSeed); err != nil {
-			return Point{}, err
+			return nil, nil, err
 		}
 	}
 	var scheme network.Scheme
@@ -114,7 +143,7 @@ func Run(spec RunSpec) (Point, error) {
 		scheme, err = MakeScheme(spec.Scheme, topo)
 	}
 	if err != nil {
-		return Point{}, err
+		return nil, nil, err
 	}
 	cfg := network.DefaultConfig()
 	if spec.VCsPerVNet > 0 {
@@ -135,24 +164,98 @@ func Run(spec RunSpec) (Point, error) {
 	cfg.Adaptive = spec.Adaptive
 	n, err := network.New(topo, cfg, scheme)
 	if err != nil {
-		return Point{}, err
+		return nil, nil, err
 	}
 	if spec.FaultPlan != "" {
 		plan, perr := faults.ParseSpec(topo, spec.FaultPlan)
 		if perr != nil {
-			return Point{}, perr
+			return nil, nil, perr
 		}
 		if _, perr := faults.Attach(n, plan); perr != nil {
-			return Point{}, perr
+			return nil, nil, perr
 		}
 	}
 	if spec.TraceLimit > 0 {
 		n.SetTracer(network.WriteTracer(os.Stderr, spec.TraceLimit))
 	}
 	g := traffic.NewGenerator(n, spec.Pattern, spec.Rate, spec.Seed+7777)
-	g.Run(spec.Dur.Warmup)
-	n.ResetMeasurement()
-	g.Run(spec.Dur.Measure)
+	return n, g, nil
+}
+
+// runMeasured is the cold path of Run: build the environment, warm up
+// (or restore a warm-start checkpoint), measure, summarize. warm may be
+// nil (warm-start disabled or spec not canonicalizable).
+func runMeasured(spec RunSpec, warm *warmState) (Point, error) {
+	n, g, err := BuildRun(spec)
+	if err != nil {
+		return Point{}, err
+	}
+	at := sim.Cycle(spec.Dur.Warmup)
+	var checkpoint func() error
+	if warm != nil {
+		snapBytes, found := warm.load()
+		if found && n.ReadSnapshot(snapBytes, g) == nil && n.Cycle() == at {
+			warmHits.Add(1)
+		} else {
+			if found {
+				// A stale or corrupt checkpoint may have partially
+				// overwritten the network before failing: rebuild and run
+				// the warmup cold.
+				n, g, err = BuildRun(spec)
+				if err != nil {
+					return Point{}, err
+				}
+			}
+			warmMisses.Add(1)
+			checkpoint = func() error { warm.store(n, g); return nil }
+		}
+	}
+	return finishRun(spec, n, g, at, checkpoint)
+}
+
+// stepTo advances the simulation to the target cycle with injection —
+// the same Tick-then-Step loop as Generator.Run, but addressed by
+// absolute cycle so it composes with restored starting points.
+func stepTo(n *network.Network, g *traffic.Generator, target sim.Cycle) {
+	for n.Cycle() < target {
+		g.Tick(n.Cycle())
+		n.Step()
+	}
+}
+
+// finishRun advances a simulation from its current cycle (0 for a cold
+// run, the checkpoint cycle for a restored one) to the end of the spec's
+// warmup+measurement schedule and assembles the Point. checkpoint, when
+// non-nil, fires once when the run reaches cycle at; at == Warmup fires
+// after the warmup cycles but before the measurement reset, matching the
+// warm-start capture point.
+func finishRun(spec RunSpec, n *network.Network, g *traffic.Generator, at sim.Cycle, checkpoint func() error) (Point, error) {
+	warmEnd := sim.Cycle(spec.Dur.Warmup)
+	end := warmEnd + sim.Cycle(spec.Dur.Measure)
+	fired := checkpoint == nil
+	step := func(target sim.Cycle) error {
+		if !fired && at >= n.Cycle() && at <= target {
+			stepTo(n, g, at)
+			fired = true
+			if err := checkpoint(); err != nil {
+				return err
+			}
+		}
+		stepTo(n, g, target)
+		return nil
+	}
+	if n.Cycle() <= warmEnd {
+		if err := step(warmEnd); err != nil {
+			return Point{}, err
+		}
+		n.ResetMeasurement()
+	}
+	if err := step(end); err != nil {
+		return Point{}, err
+	}
+	if !fired {
+		return Point{}, fmt.Errorf("experiments: checkpoint cycle %d outside the run's schedule (0..%d)", at, end)
+	}
 	p := Point{
 		Rate:       spec.Rate,
 		NetLat:     n.AvgNetLatency(),

@@ -1,0 +1,32 @@
+package message
+
+// SnapMeta exposes the pool-ownership fields for checkpointing: the
+// generation counter, pool ownership, and the released flag. Only the
+// snapshot encoder should need these together; everything else uses
+// Generation/Pooled/Released.
+func (p *Packet) SnapMeta() (gen uint32, pooled, released bool) {
+	return p.gen, p.pooled, p.released
+}
+
+// SetSnapMeta overwrites the pool-ownership fields during a restore.
+// It exists solely for snapshot decoding — ordinary code must never
+// forge generation counters or released flags.
+func (p *Packet) SetSnapMeta(gen uint32, pooled, released bool) {
+	p.gen, p.pooled, p.released = gen, pooled, released
+}
+
+// ForEachFree visits the freelist in order, oldest release first — the
+// order Get consumes from the tail, so a snapshot that replays the list
+// verbatim reproduces the exact reuse sequence.
+func (pl *Pool) ForEachFree(fn func(*Packet)) {
+	for _, p := range pl.free {
+		fn(p)
+	}
+}
+
+// SetFree replaces the freelist wholesale during a restore. The entries
+// must already carry released/pooled flags (restored via SetSnapMeta);
+// Check validates the result in debug builds.
+func (pl *Pool) SetFree(ps []*Packet) {
+	pl.free = ps
+}

@@ -126,6 +126,7 @@ const (
 	evFlit = iota
 	evCredit
 	evCall
+	evSchemeCall
 )
 
 type event struct {
@@ -137,6 +138,10 @@ type event struct {
 	free  bool
 	flit  message.Flit
 	fn    func(cycle sim.Cycle)
+	// callIdx indexes callWheel[slot] for evSchemeCall events. Keeping the
+	// SchemeCall payload out of event keeps the struct small so wheel slot
+	// capacities stabilise (see TestSteadyStateZeroAlloc).
+	callIdx int32
 }
 
 // wheelSize bounds the maximum event latency (link latency + pipeline).
@@ -154,10 +159,13 @@ type Network struct {
 	routeOverride router.RouteFunc
 	rng           *sim.RNG
 
-	cycle  sim.Cycle
-	wheel  [wheelSize][]event
-	nextID uint64
-	tracer Tracer
+	cycle sim.Cycle
+	wheel [wheelSize][]event
+	// callWheel carries the SchemeCall payloads for evSchemeCall events in
+	// the matching wheel slot; event.callIdx points into it.
+	callWheel [wheelSize][]SchemeCall
+	nextID    uint64
+	tracer    Tracer
 
 	// pool recycles packets (see internal/message.Pool for the ownership
 	// protocol); pooling caches the resolved DisablePool/UPP_NOPOOL
@@ -267,6 +275,7 @@ func New(t *topology.Topology, cfg Config, scheme Scheme) (*Network, error) {
 	// deliverEvents truncates to length 0 without freeing the array.
 	for i := range n.wheel {
 		n.wheel[i] = make([]event, 0, 16)
+		n.callWheel[i] = make([]SchemeCall, 0, 4)
 	}
 	var local routing.Local
 	switch {
@@ -426,7 +435,9 @@ func (n *Network) prepare(p *message.Packet) {
 }
 
 // Schedule runs fn at the given future cycle (plugins use this for signal
-// and popup-flit timing).
+// and popup-flit timing). Prefer ScheduleCall: a pending closure cannot
+// be serialized, so WriteSnapshot refuses to checkpoint while any
+// Schedule-scheduled event is in the wheel.
 func (n *Network) Schedule(cycle sim.Cycle, fn func(cycle sim.Cycle)) {
 	if cycle <= n.cycle {
 		panic("network: Schedule in the past or present")
@@ -436,6 +447,24 @@ func (n *Network) Schedule(cycle sim.Cycle, fn func(cycle sim.Cycle)) {
 	}
 	slot := cycle % wheelSize
 	n.wheel[slot] = append(n.wheel[slot], event{kind: evCall, fn: fn})
+	n.wheelPending++
+}
+
+// ScheduleCall delivers c to the scheme's OnScheduledCall hook at the
+// given future cycle — the serializable form of Schedule. Delivery
+// order within a cycle matches Schedule exactly (one wheel slot, append
+// order), so a scheme migrating from closures to calls stays
+// bit-identical.
+func (n *Network) ScheduleCall(cycle sim.Cycle, c SchemeCall) {
+	if cycle <= n.cycle {
+		panic("network: ScheduleCall in the past or present")
+	}
+	if cycle-n.cycle >= wheelSize {
+		panic("network: ScheduleCall beyond event wheel horizon")
+	}
+	slot := cycle % wheelSize
+	n.callWheel[slot] = append(n.callWheel[slot], c)
+	n.wheel[slot] = append(n.wheel[slot], event{kind: evSchemeCall, callIdx: int32(len(n.callWheel[slot]) - 1)})
 	n.wheelPending++
 }
 
@@ -646,6 +675,8 @@ func (n *Network) deliverEvents(cycle sim.Cycle, wake bool) {
 	slot := cycle % wheelSize
 	events := n.wheel[slot]
 	n.wheel[slot] = events[:0]
+	calls := n.callWheel[slot]
+	n.callWheel[slot] = calls[:0]
 	n.wheelPending -= len(events)
 	for i := range events {
 		e := &events[i]
@@ -670,6 +701,8 @@ func (n *Network) deliverEvents(cycle sim.Cycle, wake bool) {
 			}
 		case evCall:
 			e.fn(cycle)
+		case evSchemeCall:
+			n.scheme.OnScheduledCall(calls[e.callIdx], cycle)
 		}
 		// Drop the processed event's references (flit packet pointer,
 		// call closure): the slot array is reused at its grown capacity,
@@ -678,6 +711,10 @@ func (n *Network) deliverEvents(cycle sim.Cycle, wake bool) {
 		// the Deliver* sinks bound deltas to [1, wheelSize), so nothing
 		// appends to the slot being drained.
 		*e = event{}
+	}
+	// Clear the drained call payloads too — they carry flit packet refs.
+	for i := range calls {
+		calls[i] = SchemeCall{}
 	}
 }
 

@@ -4,8 +4,31 @@ import (
 	"uppnoc/internal/message"
 	"uppnoc/internal/routing"
 	"uppnoc/internal/sim"
+	"uppnoc/internal/snap"
 	"uppnoc/internal/topology"
 )
+
+// SchemeCall is a deferred scheme action in the event wheel — the
+// serializable replacement for closure-based Network.Schedule calls.
+// The scheme defines its own Kind space and decodes the payload in
+// OnScheduledCall; the network only stores and redelivers the struct,
+// which is what lets a snapshot capture pending protocol timing (a
+// closure cannot be serialized; this can).
+type SchemeCall struct {
+	// Kind is scheme-private (see core's uppCall* constants).
+	Kind uint8
+	// Node is the landing node, when the action targets one.
+	Node topology.NodeID
+	// A and B are scheme-defined scalar payloads (popup ID, signal
+	// kind, VNet...).
+	A, B uint64
+	// Hop is a scheme-defined small index (signal hop position).
+	Hop int32
+	// Flit is an optional flit payload (popup latch fills); HasFlit
+	// distinguishes "no flit" from a genuine zero value.
+	Flit    message.Flit
+	HasFlit bool
+}
 
 // Scheme is a deadlock-freedom approach plugged into the network: UPP
 // (internal/core), composable routing (internal/composable), remote
@@ -70,6 +93,17 @@ type Scheme interface {
 	// must override it and err towards false. The BaseScheme default
 	// (true) is only correct for schemes whose hooks are no-ops.
 	Inert() bool
+	// OnScheduledCall delivers a SchemeCall the scheme previously passed
+	// to Network.ScheduleCall, at its scheduled cycle. Schemes that never
+	// call ScheduleCall keep the no-op default.
+	OnScheduledCall(c SchemeCall, cycle sim.Cycle)
+	// Snapshot serializes the scheme's live protocol state (popup FSMs,
+	// tokens, control-plane buffers) into a UPWS section; Restore
+	// overwrites it from one written by the same scheme attached to an
+	// identically-configured network. Stateless schemes keep the no-op
+	// defaults. See DESIGN.md §14.
+	Snapshot(w *snap.Writer)
+	Restore(r *snap.Reader) error
 }
 
 // BaseScheme is a no-op Scheme for embedding; concrete schemes override
@@ -109,6 +143,15 @@ func (BaseScheme) Diagnostic() string { return "" }
 // StartOfCycle or EndOfCycle with per-cycle state machines must override
 // Inert too (see the interface comment).
 func (BaseScheme) Inert() bool { return true }
+
+// OnScheduledCall is a no-op (only schemes that use ScheduleCall see it).
+func (BaseScheme) OnScheduledCall(SchemeCall, sim.Cycle) {}
+
+// Snapshot writes nothing: the base scheme carries no mutable state.
+func (BaseScheme) Snapshot(*snap.Writer) {}
+
+// Restore reads nothing, mirroring Snapshot.
+func (BaseScheme) Restore(*snap.Reader) error { return nil }
 
 // None is the recovery-free fully-adaptive configuration: static-binding
 // routing with no deadlock handling at all. Integration-induced deadlocks

@@ -5,6 +5,7 @@ import (
 
 	"uppnoc/internal/message"
 	"uppnoc/internal/sim"
+	"uppnoc/internal/snap"
 	"uppnoc/internal/topology"
 )
 
@@ -133,6 +134,14 @@ type Microarch interface {
 	StagedCount(p topology.PortID) int
 	// ScanStaged calls fn for every staged flit (debug audits).
 	ScanStaged(fn func(message.Flit))
+
+	// Snapshot serializes the router's full mutable state into a UPWS
+	// section; Restore overwrites it from one written by the same
+	// microarchitecture on an identically-configured router (DESIGN.md
+	// §14). Variants with extra storage (oq staging) extend the base
+	// encoding.
+	Snapshot(w *snap.Writer)
+	Restore(r *snap.Reader) error
 }
 
 // Compile-time interface checks for all three variants.

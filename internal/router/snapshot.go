@@ -1,0 +1,179 @@
+package router
+
+import (
+	"math"
+
+	"uppnoc/internal/snap"
+	"uppnoc/internal/topology"
+)
+
+// Snapshot serializes the router's full mutable state (DESIGN.md §14):
+// every input VC's buffered flits and wormhole allocation, output
+// credits and busy bits, the epoch-stamped crossbar claims, round-robin
+// pointers, datapath counters and the router's split RNG stream. The
+// immutable parts — topology node, config, route function, sinks — are
+// rebuilt by network construction before Restore runs.
+func (r *Router) Snapshot(w *snap.Writer) {
+	for pi := range r.In {
+		in := &r.In[pi]
+		for vi := range in.VCs {
+			vc := &in.VCs[vi]
+			w.Uvarint(uint64(vc.count))
+			for i := 0; i < vc.count; i++ {
+				b := &vc.buf[(vc.head+i)%len(vc.buf)]
+				w.Flit(b.flit)
+				w.Varint(b.ready)
+			}
+			w.Uvarint(uint64(vc.State))
+			w.Varint(int64(vc.OutPort))
+			w.Varint(int64(vc.OutVC))
+			w.Bool(vc.routed)
+			w.Bool(vc.Hold)
+		}
+		out := &r.Out[pi]
+		for vi := range out.Credits {
+			w.Varint(int64(out.Credits[vi]))
+			w.Bool(out.Busy[vi])
+		}
+		w.Int(out.rr)
+		w.Varint(r.outClaimedAt[pi])
+		w.Varint(r.inClaimedAt[pi])
+		w.Int(r.inRR[pi])
+		w.Uvarint(r.PortSent[pi])
+	}
+	w.Uvarint(uint64(r.upSent))
+	w.Varint(r.upSentAt)
+	w.Uvarint(uint64(r.downOut))
+	w.Uvarint(r.Stats.BufferWrites)
+	w.Uvarint(r.Stats.BufferReads)
+	w.Uvarint(r.Stats.CrossbarTravs)
+	w.Uvarint(r.Stats.LinkTravs)
+	w.Uvarint(r.Stats.SARequests)
+	w.Uvarint(r.Stats.SAGrants)
+	w.Uvarint(r.Stats.UpFlits)
+	st := r.rng.State()
+	for _, s := range st {
+		w.Uvarint(s)
+	}
+}
+
+// Restore overwrites the router's mutable state from a snapshot written
+// by Snapshot on an identically-configured router. Flits are re-pushed
+// into freshly reset VCs — the ring's head position is unobservable, so
+// only FIFO order matters.
+func (r *Router) Restore(rd *snap.Reader) error {
+	nports := len(r.In)
+	r.buffered = 0
+	for pi := 0; pi < nports; pi++ {
+		in := &r.In[pi]
+		in.buffered = 0
+		for vi := range in.VCs {
+			vc := &in.VCs[vi]
+			vc.reset()
+			n := rd.Len("vc flit count", len(vc.buf))
+			if rd.Err() != nil {
+				return rd.Err()
+			}
+			for i := 0; i < n; i++ {
+				f := rd.Flit()
+				ready := rd.Varint("vc flit ready")
+				if rd.Err() != nil {
+					return rd.Err()
+				}
+				vc.buf[(vc.head+vc.count)%len(vc.buf)] = bufFlit{flit: f, ready: ready}
+				vc.count++
+			}
+			in.buffered += n
+			r.buffered += n
+			st := rd.Uvarint("vc state")
+			if rd.Err() == nil && st > uint64(VCActive) {
+				rd.Fail("vc state %d out of range", st)
+			}
+			vc.State = VCState(st)
+			vc.OutPort = topology.PortID(rd.Int("vc outport", -1, int64(nports)-1))
+			vc.OutVC = int8(rd.Int("vc outvc", -1, int64(len(r.Out[pi].Credits))-1))
+			vc.routed = rd.Bool("vc routed")
+			vc.Hold = rd.Bool("vc hold")
+		}
+		out := &r.Out[pi]
+		for vi := range out.Credits {
+			out.Credits[vi] = int16(rd.Int("out credits", 0, int64(r.Cfg.BufferDepth)))
+			out.Busy[vi] = rd.Bool("out busy")
+		}
+		out.rr = rd.Int("out rr", 0, int64(nports))
+		r.outClaimedAt[pi] = rd.Varint("out claim")
+		r.inClaimedAt[pi] = rd.Varint("in claim")
+		r.inRR[pi] = rd.Int("in rr", 0, int64(len(in.VCs)))
+		r.PortSent[pi] = rd.Uvarint("port sent")
+	}
+	up := rd.Uvarint("upsent mask")
+	if rd.Err() == nil && up > math.MaxUint8 {
+		rd.Fail("upsent mask %d out of range", up)
+	}
+	r.upSent = uint8(up)
+	r.upSentAt = rd.Varint("upsent at")
+	down := rd.Uvarint("down mask")
+	if rd.Err() == nil && down > math.MaxUint32 {
+		rd.Fail("down mask %d out of range", down)
+	}
+	r.downOut = uint32(down)
+	r.Stats.BufferWrites = rd.Uvarint("stats bufw")
+	r.Stats.BufferReads = rd.Uvarint("stats bufr")
+	r.Stats.CrossbarTravs = rd.Uvarint("stats xbar")
+	r.Stats.LinkTravs = rd.Uvarint("stats link")
+	r.Stats.SARequests = rd.Uvarint("stats sareq")
+	r.Stats.SAGrants = rd.Uvarint("stats sagrant")
+	r.Stats.UpFlits = rd.Uvarint("stats upflits")
+	var st [4]uint64
+	for i := range st {
+		st[i] = rd.Uvarint("router rng")
+	}
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	r.rng.SetState(st)
+	return nil
+}
+
+// Snapshot appends the output staging FIFOs to the base router state.
+func (q *OQ) Snapshot(w *snap.Writer) {
+	q.Router.Snapshot(w)
+	for pi := range q.stage {
+		s := &q.stage[pi]
+		w.Uvarint(uint64(s.count))
+		for i := 0; i < s.count; i++ {
+			sf := &s.buf[(s.head+i)%len(s.buf)]
+			w.Flit(sf.f)
+			w.Varint(int64(sf.outVC))
+		}
+	}
+}
+
+// Restore mirrors Snapshot for the output-queued variant.
+func (q *OQ) Restore(rd *snap.Reader) error {
+	if err := q.Router.Restore(rd); err != nil {
+		return err
+	}
+	q.staged = 0
+	for pi := range q.stage {
+		s := &q.stage[pi]
+		s.head, s.count = 0, 0
+		for i := range s.buf {
+			s.buf[i] = stagedFlit{}
+		}
+		n := rd.Len("stage flit count", len(s.buf))
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		for i := 0; i < n; i++ {
+			f := rd.Flit()
+			outVC := int8(rd.Int("stage outvc", 0, int64(q.Cfg.NumVCs())-1))
+			if rd.Err() != nil {
+				return rd.Err()
+			}
+			s.push(stagedFlit{f: f, outVC: outVC})
+		}
+		q.staged += n
+	}
+	return rd.Err()
+}

@@ -43,6 +43,14 @@ func (r *RNG) Split(id uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (id * 0x9e3779b97f4a7c15) ^ 0xd1b54a32d192ed03)
 }
 
+// State returns the generator's internal state, for checkpointing.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state, for restore. The
+// caller is responsible for passing a state captured by State; an
+// all-zero state would make the generator emit zeros forever.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

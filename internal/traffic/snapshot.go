@@ -1,0 +1,60 @@
+package traffic
+
+import (
+	"math"
+
+	"uppnoc/internal/snap"
+)
+
+// SnapshotLabel implements network.SnapshotExtra.
+func (g *Generator) SnapshotLabel() string { return "traffic" }
+
+// SnapshotState serializes the generator's cursor state: the offered
+// load, the control/data mix and every per-core Bernoulli stream, so a
+// restored run draws the exact injection sequence the uninterrupted run
+// would have (DESIGN.md §14).
+func (g *Generator) SnapshotState(w *snap.Writer) {
+	w.F64(g.Rate)
+	w.F64(g.CtrlFraction)
+	w.Uvarint(uint64(len(g.rngs)))
+	for _, rng := range g.rngs {
+		st := rng.State()
+		for _, s := range st {
+			w.Uvarint(s)
+		}
+	}
+}
+
+// RestoreState implements network.SnapshotExtra.
+func (g *Generator) RestoreState(r *snap.Reader) error {
+	rate := r.F64("traffic rate")
+	ctrl := r.F64("traffic ctrl fraction")
+	if r.Err() == nil && (math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0) {
+		r.Fail("traffic rate %v invalid", rate)
+	}
+	if r.Err() == nil && (math.IsNaN(ctrl) || ctrl < 0 || ctrl > 1) {
+		r.Fail("traffic ctrl fraction %v invalid", ctrl)
+	}
+	n := r.Len("traffic rng count", len(g.rngs))
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(g.rngs) {
+		r.Fail("traffic snapshot has %d core streams, generator has %d", n, len(g.rngs))
+		return r.Err()
+	}
+	for i := 0; i < n; i++ {
+		var st [4]uint64
+		for j := range st {
+			st[j] = r.Uvarint("traffic rng word")
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		g.rngs[i].SetState(st)
+	}
+	g.Rate = rate
+	g.CtrlFraction = ctrl
+	g.updateProb()
+	return r.Err()
+}
