@@ -35,6 +35,7 @@ bench-json:
 	$(GO) run ./cmd/benchjson -parallel -out BENCH_parallel.json
 	$(GO) run ./cmd/benchjson -router -out BENCH_router.json
 	$(GO) run ./cmd/benchjson -cache -out BENCH_cache.json
+	$(GO) run ./cmd/benchjson -reconfig -out BENCH_reconfig.json
 
 # Measure the scale-out ladder (512/2048/8192 routers, active kernel plus
 # parallel at 1/2/4/8 shards) in BENCH_scale.json. The shards=4-beats-

@@ -32,6 +32,13 @@
 // wall-clock over the cycles the sweep represents, so the three rows
 // share a denominator and the speedup ratios are wall-clock ratios.
 //
+// With -reconfig it measures dynamic reconfiguration: the simulated
+// wall-clock of a two-link kill-and-migrate transition (Begin→Finish
+// cycles) under the drainless and epoch-fenced protocols at three
+// offered loads, plus the real wall-clock cost of the soak, written as
+// BENCH_reconfig.json. The transition numbers are deterministic
+// simulation outputs — only ns_per_cycle varies across machines.
+//
 // With -compare old.json new.json it diffs two BENCH_*.json files
 // produced by any of the modes above, prints per-measurement
 // ns_per_cycle deltas, and exits non-zero when any shared measurement
@@ -52,7 +59,9 @@ import (
 	"time"
 
 	"uppnoc/internal/experiments"
+	"uppnoc/internal/faults"
 	"uppnoc/internal/network"
+	"uppnoc/internal/reconfig"
 	"uppnoc/internal/topology"
 	"uppnoc/internal/traffic"
 )
@@ -564,6 +573,132 @@ func runCacheBench(out string) {
 	}
 }
 
+// reconfigMeasurement is one row of the -reconfig artifact: a two-link
+// kill-and-migrate soak under one transition protocol at one offered
+// load. Every field except ns_per_cycle is a deterministic simulation
+// output (cycles, counters), so regenerating the artifact on another
+// machine must reproduce them exactly.
+type reconfigMeasurement struct {
+	Load string  `json:"load"`
+	Rate float64 `json:"rate"`
+	Mode string  `json:"mode"`
+	// Compatible is the CDG verdict on the old∪new union; the two-link
+	// kill reroutes enough of the mesh that epoch fencing is expected.
+	Compatible bool `json:"compatible"`
+	// TransitionCycles is Begin→Finish: the simulated wall-clock of the
+	// migration. CutLatencyCycles is Begin→Cut (fence-and-drain window).
+	TransitionCycles int64  `json:"transition_cycles"`
+	CutLatencyCycles int64  `json:"cut_latency_cycles"`
+	RouteMigrations  uint64 `json:"route_migrations"`
+	HeadsMigrated    uint64 `json:"heads_migrated"`
+	HeldStreams      uint64 `json:"held_streams"`
+	Popups           uint64 `json:"popups_completed"`
+	FinalCycle       int64  `json:"final_cycle"`
+	// NsPerCycle is host wall-clock over simulated cycles for the whole
+	// soak (load + transition + drain) — the only machine-dependent field.
+	NsPerCycle float64 `json:"ns_per_cycle"`
+}
+
+// reconfigReport is the -reconfig artifact. TransitionRatio maps load
+// label to epoch/drainless transition-cycle ratio. Below 1 means the
+// fenced protocol ends the mixed-epoch window sooner than drainless —
+// the expected regime at high load, where continued injection congests
+// the old epoch's drain; the fence pays for it in held_streams instead.
+type reconfigReport struct {
+	Date            string                `json:"date"`
+	GoVersion       string                `json:"go_version"`
+	GOOS            string                `json:"goos"`
+	GOARCH          string                `json:"goarch"`
+	NumCPU          int                   `json:"num_cpu"`
+	KilledLinks     []int                 `json:"killed_links"`
+	KillCycle       int64                 `json:"kill_cycle"`
+	Measurements    []reconfigMeasurement `json:"measurements"`
+	TransitionRatio map[string]float64    `json:"transition_cycles_epoch_over_drainless"`
+}
+
+// reconfigLoads keeps the soak below uniform-random saturation: past it
+// the drain phase dominates wall-clock without changing the transition
+// numbers.
+var reconfigLoads = []load{
+	{"low", 0.02},
+	{"mid", 0.05},
+	{"high", 0.10},
+}
+
+func runReconfigBench(out string) {
+	links, err := experiments.KillableInterposerLinks(topology.BaselineConfig(), 2)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	const killCycle = 400
+	plan := faults.Plan{Kills: []faults.LinkKill{
+		{Link: links[0], Cycle: killCycle},
+		{Link: links[1], Cycle: killCycle},
+	}}
+	rep := reconfigReport{
+		Date:            time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		NumCPU:          runtime.NumCPU(),
+		KilledLinks:     links,
+		KillCycle:       killCycle,
+		TransitionRatio: map[string]float64{},
+	}
+	transition := map[string]map[string]int64{}
+	for _, l := range reconfigLoads {
+		transition[l.Label] = map[string]int64{}
+		for _, mode := range []reconfig.Mode{reconfig.ModeDrainless, reconfig.ModeEpoch} {
+			fmt.Fprintf(os.Stderr, "benchjson: %s load (rate %.2f), %s transition...\n", l.Label, l.Rate, mode)
+			start := time.Now()
+			o, err := experiments.RunReconfig(experiments.ReconfigSpec{
+				Mode:       mode,
+				Plan:       plan,
+				Seed:       5,
+				Rate:       l.Rate,
+				LoadCycles: killCycle + 2000,
+				DrainMax:   200000,
+				StallLimit: 20000,
+			})
+			wall := time.Since(start)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			if !o.Quiesced {
+				fmt.Fprintf(os.Stderr, "benchjson: reconfig soak stalled: %s\n", o.Stall)
+				os.Exit(1)
+			}
+			tr := o.Transitions[0]
+			m := reconfigMeasurement{
+				Load:             l.Label,
+				Rate:             l.Rate,
+				Mode:             mode.String(),
+				Compatible:       tr.Compatible,
+				TransitionCycles: int64(tr.Finish - tr.Begin),
+				CutLatencyCycles: int64(tr.Cut - tr.Begin),
+				RouteMigrations:  o.Stats.RouteMigrations,
+				HeadsMigrated:    o.Stats.HeadsMigrated,
+				HeldStreams:      o.Stats.ReconfigHeldStreams,
+				Popups:           o.Stats.PopupsCompleted,
+				FinalCycle:       int64(o.FinalCycle),
+				NsPerCycle:       float64(wall.Nanoseconds()) / float64(o.FinalCycle),
+			}
+			rep.Measurements = append(rep.Measurements, m)
+			transition[l.Label][mode.String()] = m.TransitionCycles
+		}
+		if d := transition[l.Label][reconfig.ModeDrainless.String()]; d > 0 {
+			rep.TransitionRatio[l.Label] = float64(transition[l.Label][reconfig.ModeEpoch.String()]) / float64(d)
+		}
+	}
+	writeJSON(out, rep)
+	for _, l := range reconfigLoads {
+		fmt.Fprintf(os.Stderr, "  %-5s drainless %5d cycles, epoch %5d cycles (%.2fx)\n",
+			l.Label, transition[l.Label]["drainless"], transition[l.Label]["epoch"], rep.TransitionRatio[l.Label])
+	}
+}
+
 // compareMeasurement is the cross-mode subset of a measurement row used
 // by -compare: every BENCH_*.json variant carries load and ns_per_cycle;
 // kernel and pooling distinguish rows within a file when present.
@@ -702,6 +837,7 @@ func main() {
 	routerMode := flag.Bool("router", false, "measure the three router microarchitectures (iq/oq/voq) instead of kernels")
 	scaleMode := flag.Bool("scale", false, "measure the parallel kernel's shard-scaling curves on the scale-out systems (small/large/huge)")
 	cacheMode := flag.Bool("cache", false, "measure the result cache: one sweep cold vs cache-hit vs warm-started")
+	reconfigMode := flag.Bool("reconfig", false, "measure dynamic reconfiguration: two-link kill-and-migrate transition cost, drainless vs epoch, three loads")
 	compare := flag.Bool("compare", false, "diff two BENCH_*.json files: benchjson -compare old.json new.json")
 	tolerance := flag.Float64("tolerance", 0.10, "with -compare, ns_per_cycle regression fraction that fails the diff")
 	out := flag.String("out", "", "output JSON path (default BENCH_kernel.json, BENCH_alloc.json with -alloc, BENCH_parallel.json with -parallel, BENCH_router.json with -router, BENCH_scale.json with -scale, BENCH_cache.json with -cache)")
@@ -725,6 +861,8 @@ func main() {
 			*out = "BENCH_scale.json"
 		case *cacheMode:
 			*out = "BENCH_cache.json"
+		case *reconfigMode:
+			*out = "BENCH_reconfig.json"
 		default:
 			*out = "BENCH_kernel.json"
 		}
@@ -747,6 +885,10 @@ func main() {
 	}
 	if *cacheMode {
 		runCacheBench(*out)
+		return
+	}
+	if *reconfigMode {
+		runReconfigBench(*out)
 		return
 	}
 

@@ -11,9 +11,10 @@
 //
 // Experiments: table1 table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 fault_sweep load_balance tail_latency ablation collectives
-// router_compare (fig8/fig12/fig15 run together as "fullsystem"), plus
-// "scale" — the scale-out saturation comparison, which is opt-in (not in
-// "all") because its systems are 10-100x the paper's.
+// router_compare reconfig (fig8/fig12/fig15 run together as
+// "fullsystem"), plus "scale" — the scale-out saturation comparison,
+// which is opt-in (not in "all") because its systems are 10-100x the
+// paper's.
 //
 // Simulation points fan out across a worker pool (-jobs, or UPP_JOBS,
 // defaulting to GOMAXPROCS); the output is bit-identical at any worker
@@ -120,6 +121,9 @@ func main() {
 	}
 	if all || want["router_compare"] {
 		add(experiments.RouterCompare(opts))
+	}
+	if all || want["reconfig"] {
+		add(experiments.Reconfig(dur, opts))
 	}
 	if want["scale"] {
 		// Not part of -exp all: the scale systems are orders of magnitude

@@ -7,6 +7,13 @@
 //	uppsim -scheme composable -vcs 4 -pattern transpose -cycles 50000
 //	uppsim -scheme upp -faults 10 -rate 0.03
 //	uppsim -scheme upp -fault-plan "flaps=4,drop=0.2" -rate 0.05
+//	uppsim -scheme upp -fault-plan "kill=3@5000,kill=9@5000" -rate 0.03
+//
+// Persistent events in a fault plan (kill/add/killchiplet, see
+// EXPERIMENTS.md) automatically attach the reconfiguration engine
+// (internal/reconfig) instead of the plain injector and force up*/down*
+// routing so the tables can be rebuilt mid-run (DESIGN.md §15).
+//
 //	uppsim -scheme none -rate 0.10       # watch a deadlock wedge the network
 //	uppsim -scale large -rate 0.01       # 2048-router scale-out preset
 //	UPP_KERNEL=parallel UPP_SHARDS=4 uppsim -scale huge -rate 0.005 -cycles 2000

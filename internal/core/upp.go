@@ -301,6 +301,23 @@ func (u *UPP) Attach(n *network.Network) {
 // ActivePopups returns the number of in-flight popup instances (tests).
 func (u *UPP) ActivePopups() int { return len(u.popups) }
 
+// PopupPathsAvoid reports that no live popup's circuit path crosses link
+// l in either direction. The reconfiguration engine polls it before
+// cutting a fenced link: popup circuits bypass switch allocation
+// (SendDirect claims, not VC grants), so the router-level PortQuiet
+// check alone cannot prove the link idle.
+func (u *UPP) PopupPathsAvoid(l *topology.Link) bool {
+	for _, p := range u.popups {
+		for i := range p.path {
+			h := &p.path[i]
+			if (h.node == l.A && h.outPort == l.APort) || (h.node == l.B && h.outPort == l.BPort) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // linkLat returns the configured link latency.
 func (u *UPP) linkLat() sim.Cycle { return sim.Cycle(u.net.Cfg.Router.LinkLatency) }
 
@@ -420,6 +437,18 @@ func (u *UPP) detectAt(id topology.NodeID, cycle sim.Cycle) {
 			continue
 		}
 		port, vcIdx, f := u.findStalledUpward(r, vnet, ns.rr[v], cycle)
+		if port == topology.InvalidPort && u.net.TransitionActive() {
+			// During a routing-epoch transition, old- and new-epoch
+			// traffic coexist and an incompatible pair can form a
+			// dependency cycle entirely within the interposer mesh — a
+			// shape the steady-state detector never sees, because
+			// up*/down* keeps each layer acyclic on its own and any
+			// deadlock must then involve an upward-stalled packet.
+			// Widen detection to mesh-stalled packets while the
+			// transition lasts (DESIGN.md §15): the popup mechanics are
+			// path-agnostic, so recovery works unchanged.
+			port, vcIdx, f = u.findStalledMesh(r, vnet, ns.rr[v], cycle)
+		}
 		if port == topology.InvalidPort {
 			ns.counters[v] = 0
 			continue
@@ -467,6 +496,41 @@ func (u *UPP) findStalledUpward(r router.Microarch, vnet message.VNet, rrStart i
 	return topology.InvalidPort, -1, message.Flit{}
 }
 
+// findStalledMesh is findStalledUpward's transition-time companion: it
+// scans for a stalled packet whose next hop is an intra-layer mesh port.
+// Only consulted while a routing-epoch transition is active.
+func (u *UPP) findStalledMesh(r router.Microarch, vnet message.VNet, rrStart int, cycle sim.Cycle) (topology.PortID, int, message.Flit) {
+	nports := r.NumPorts()
+	nvc := r.Config().NumVCs()
+	total := nports * nvc
+	for k := 1; k <= total; k++ {
+		idx := (rrStart + k) % total
+		port := topology.PortID(idx / nvc)
+		vcIdx := idx % nvc
+		if r.Config().VCVNet(vcIdx) != vnet {
+			continue
+		}
+		vc := r.VCAt(port, vcIdx)
+		if vc.Hold || vc.State == router.VCIdle {
+			continue
+		}
+		if vc.OutPort == topology.InvalidPort || vc.OutPort == topology.LocalPort {
+			continue
+		}
+		switch r.TopoNode().Ports[vc.OutPort].Dir {
+		case topology.East, topology.West, topology.North, topology.South:
+		default:
+			continue
+		}
+		f, ok := vc.FrontReady(cycle)
+		if !ok || f.Pkt.Popup {
+			continue
+		}
+		return port, vcIdx, f
+	}
+	return topology.InvalidPort, -1, message.Flit{}
+}
+
 // startPopup creates a popup instance for the selected upward packet and
 // queues its UPP_req. It may decline (returning without creating one)
 // when the packet's route is momentarily unsettled — the counter stays
@@ -478,6 +542,25 @@ func (u *UPP) startPopup(r router.Microarch, ns *nodeState, vnet message.VNet, p
 	}
 	if !settled {
 		return
+	}
+	// A live popup installs one circuit entry per (node, VNet): a second
+	// same-VNet popup crossing any of its nodes would corrupt it. Normal
+	// upward popups never overlap (the per-(chiplet, VNet) token covers
+	// the chiplet hops and the origin is per-router), but transition-time
+	// mesh popups traverse interposer mesh hops that can cross another
+	// popup's path. Decline and retry next cycle — the counter stays
+	// above threshold, and the blocking popup completes in bounded time.
+	for _, q := range u.popups {
+		if q.vnet != vnet {
+			continue
+		}
+		for i := range q.path {
+			for j := range path {
+				if q.path[i].node == path[j].node {
+					return
+				}
+			}
+		}
 	}
 	u.nextID++
 	p := &popup{
@@ -564,6 +647,13 @@ func (u *UPP) chasePath(r router.Microarch, port topology.PortID, vcIdx int, pkt
 		EgressBoundary:    pkt.EgressBoundary,
 		RouteLayer:        int16(topology.InterposerChiplet),
 		LayerEntryX:       int16(topo.Node(r.NodeID()).X),
+		// Pin the pseudo packet to the CURRENT routing epoch regardless
+		// of the real packet's stamp: during a reconfiguration the
+		// untransmitted remainder of the chase must follow live tables
+		// (the popup circuit drains the path directly, so the choice is
+		// free), and an old-epoch copy would otherwise trip the lazy
+		// migration accounting in Route on a packet that isn't real.
+		Epoch: u.net.RouteEpoch(),
 	}
 	for i := 0; ; i++ {
 		if i > topo.NumNodes() {

@@ -249,6 +249,18 @@ func writeAtomic(path string, data []byte) {
 // canonical spec JSON, then the network's UPWS snapshot.
 const checkpointMagic = "UPWR"
 
+// snapshotExtras assembles the SnapshotExtra list for a BuildRun
+// environment: the generator, plus the fault injector when it carries
+// snapshot state of its own (the reconfiguration engine does; the plain
+// flap injector resyncs from the restored cycle instead).
+func snapshotExtras(n *network.Network, g *traffic.Generator) []network.SnapshotExtra {
+	extras := []network.SnapshotExtra{g}
+	if ex, ok := n.FaultInjector().(network.SnapshotExtra); ok {
+		extras = append(extras, ex)
+	}
+	return extras
+}
+
 // writeCheckpointTo writes the container for an in-flight run.
 func writeCheckpointTo(w io.Writer, canonical []byte, n *network.Network, g *traffic.Generator) error {
 	var hdr bytes.Buffer
@@ -260,7 +272,7 @@ func writeCheckpointTo(w io.Writer, canonical []byte, n *network.Network, g *tra
 	if _, err := w.Write(hdr.Bytes()); err != nil {
 		return err
 	}
-	return n.WriteSnapshot(w, g)
+	return n.WriteSnapshot(w, snapshotExtras(n, g)...)
 }
 
 // splitCheckpoint separates a container into its spec and snapshot bytes.
@@ -308,7 +320,7 @@ func ReadCheckpoint(data []byte) (*network.Network, *traffic.Generator, RunSpec,
 	if err != nil {
 		return nil, nil, RunSpec{}, err
 	}
-	if err := n.ReadSnapshot(snapBytes, g); err != nil {
+	if err := n.ReadSnapshot(snapBytes, snapshotExtras(n, g)...); err != nil {
 		return nil, nil, RunSpec{}, err
 	}
 	return n, g, spec, nil

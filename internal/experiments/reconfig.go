@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"uppnoc/internal/core"
+	"uppnoc/internal/faults"
+	"uppnoc/internal/network"
+	"uppnoc/internal/reconfig"
+	"uppnoc/internal/routing"
+	"uppnoc/internal/sim"
+	"uppnoc/internal/topology"
+	"uppnoc/internal/traffic"
+	"uppnoc/internal/workload"
+)
+
+// ReconfigSpec describes one dynamic-reconfiguration soak: load, a
+// persistent fault plan (link kills, hot-adds, chiplet fail-stops)
+// driven by the reconfiguration engine, then a drain that must quiesce.
+type ReconfigSpec struct {
+	Kernel     string
+	RouterArch string
+	Mode       reconfig.Mode
+	Plan       faults.Plan
+	Seed       uint64
+	// Workload selects the closed-loop collective engine
+	// (workload.ParseSpec syntax, e.g. "all_to_all"); empty uses the
+	// rate-driven uniform-random generator at Rate.
+	Workload string
+	Rate     float64
+	// LoadCycles of offered traffic, then injection stops and the
+	// network drains (DrainMax cycles, StallLimit watchdog).
+	LoadCycles int
+	DrainMax   int
+	StallLimit int
+}
+
+// ReconfigOutcome is the observable result of a reconfiguration soak.
+// Identical specs must produce identical outcomes under every kernel.
+type ReconfigOutcome struct {
+	Quiesced    bool
+	Stall       string
+	FinalCycle  sim.Cycle
+	Stats       network.Stats
+	Transitions []reconfig.Transition
+	Cuts        []reconfig.CutInfo
+	// RoutesChanged counts interposer (src, dst) pairs whose route under
+	// the final tables differs from the construction-time tables' — the
+	// delivered-path evidence that reconfiguration actually rerouted.
+	RoutesChanged int
+}
+
+// KillableInterposerLinks returns n interposer mesh link IDs whose
+// cumulative removal keeps every layer connected — the standard victims
+// of the reconfiguration soaks. Selection runs on a scratch topology.
+func KillableInterposerLinks(cfg topology.SystemConfig, n int) ([]int, error) {
+	topo, err := topology.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	for _, l := range topo.Links {
+		if len(ids) == n {
+			break
+		}
+		if l.Vertical || l.Faulty || topo.Node(l.A).Chiplet != topology.InterposerChiplet {
+			continue
+		}
+		l.Faulty = true
+		if _, err := routing.NewUpDown(topo); err == nil {
+			ids = append(ids, l.ID)
+		} else {
+			l.Faulty = false
+		}
+	}
+	if len(ids) < n {
+		return nil, fmt.Errorf("reconfig: only %d of %d requested interposer links are killable", len(ids), n)
+	}
+	return ids, nil
+}
+
+// RunReconfig executes one reconfiguration soak on a fresh baseline
+// topology and validates the outcome:
+//
+//   - every planned transition must have finished (no wedged epoch);
+//   - a quiesced run must pass the resource audit and packet accounting;
+//   - no flit may have crossed a killed link after its cut (checked
+//     against the CutInfo sent counters, skipping later-revived links);
+//   - surviving routes must avoid every dead link, and at least one
+//     route must actually have changed when links were killed.
+func RunReconfig(spec ReconfigSpec) (ReconfigOutcome, error) {
+	topo, err := topology.Build(topology.BaselineConfig())
+	if err != nil {
+		return ReconfigOutcome{}, err
+	}
+	cfg := network.DefaultConfig()
+	cfg.Kernel = spec.Kernel
+	cfg.RouterArch = spec.RouterArch
+	cfg.Seed = spec.Seed + 1
+	cfg.UseUpDown = true // persistent kills require a fault-indexed local
+	n, err := network.New(topo, cfg, HardenedUPP())
+	if err != nil {
+		return ReconfigOutcome{}, err
+	}
+	oldLocal := n.Hier().Local
+	eng, err := reconfig.Attach(n, reconfig.Config{Plan: spec.Plan, Mode: spec.Mode})
+	if err != nil {
+		return ReconfigOutcome{}, err
+	}
+	alive := func(id topology.NodeID) bool {
+		return eng.ChipletAlive(topo.Node(id).Chiplet)
+	}
+	if spec.Workload != "" {
+		ws, werr := workload.ParseSpec(spec.Workload)
+		if werr != nil {
+			return ReconfigOutcome{}, werr
+		}
+		prog, werr := ws.Build(len(topo.Cores()))
+		if werr != nil {
+			return ReconfigOutcome{}, werr
+		}
+		weng, werr := workload.NewEngine(n, prog)
+		if werr != nil {
+			return ReconfigOutcome{}, werr
+		}
+		weng.Iterations = 1 << 20
+		for i := 0; i < spec.LoadCycles; i++ {
+			weng.Tick(n.Cycle())
+			n.Step()
+		}
+	} else {
+		g := traffic.NewGenerator(n, traffic.UniformRandom{}, spec.Rate, spec.Seed+7777)
+		g.CoreAlive = alive
+		g.Run(spec.LoadCycles)
+		g.SetRate(0)
+	}
+	out := ReconfigOutcome{}
+	derr := n.Drain(spec.DrainMax, sim.Cycle(spec.StallLimit))
+	out.FinalCycle = n.Cycle()
+	out.Stats = n.Stats
+	out.Transitions = append(out.Transitions, eng.Transitions()...)
+	out.Cuts = append(out.Cuts, eng.Cuts()...)
+	if derr != nil {
+		var diag *network.StallDiagnostic
+		if !errors.As(derr, &diag) {
+			return out, fmt.Errorf("reconfig: drain failed without a stall diagnostic: %w", derr)
+		}
+		out.Stall = diag.Error()
+		return out, nil
+	}
+	if !n.Quiesced() {
+		return out, fmt.Errorf("reconfig: Drain returned nil with %d packets in flight", n.InFlight())
+	}
+	if err := n.CheckQuiescent(); err != nil {
+		return out, fmt.Errorf("reconfig: quiesced network fails the resource audit: %w", err)
+	}
+	if !eng.Done() {
+		return out, fmt.Errorf("reconfig: engine still mid-plan after drain (cursor or transition stuck)")
+	}
+	if u, ok := n.Scheme().(*core.UPP); ok {
+		if err := u.UPPStateOK(); err != nil {
+			return out, fmt.Errorf("reconfig: stale UPP state after quiescing: %w", err)
+		}
+	}
+	for _, c := range out.Cuts {
+		l := topo.Links[c.Link]
+		if !l.Faulty {
+			continue // revived by a later hot-add
+		}
+		sa := n.Routers[l.A].PortSentOn(l.APort)
+		sb := n.Routers[l.B].PortSentOn(l.BPort)
+		if sa != c.SentA || sb != c.SentB {
+			return out, fmt.Errorf("reconfig: link %d carried traffic after its cut at cycle %d (sent A %d->%d, B %d->%d)",
+				c.Link, c.Cycle, c.SentA, sa, c.SentB, sb)
+		}
+	}
+	// Delivered-path evidence: walk every interposer pair under the
+	// final tables; no route may cross a dead link, and when links died
+	// at least one route must differ from the construction-time tables'.
+	newLocal := n.Hier().Local
+	dead := map[int]bool{}
+	for _, l := range topo.Links {
+		if l.Faulty && !l.Vertical {
+			dead[l.ID] = true
+		}
+	}
+	nodes := topo.LayerNodes(topology.InterposerChiplet)
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			pa, err := reconfig.WalkRoute(topo, newLocal, topology.InterposerChiplet, src, dst)
+			if err != nil {
+				return out, fmt.Errorf("reconfig: final tables cannot route %d -> %d: %w", src, dst, err)
+			}
+			for i := 0; i+1 < len(pa); i++ {
+				p := topo.Node(pa[i]).PortToNeighbor(pa[i+1])
+				if l := topo.Node(pa[i]).Ports[p].Link; l != nil && dead[l.ID] {
+					return out, fmt.Errorf("reconfig: surviving route %d -> %d crosses dead link %d", src, dst, l.ID)
+				}
+			}
+			pb, err := reconfig.WalkRoute(topo, oldLocal, topology.InterposerChiplet, src, dst)
+			if err != nil {
+				out.RoutesChanged++ // old tables fail across dead links
+				continue
+			}
+			if len(pa) != len(pb) {
+				out.RoutesChanged++
+				continue
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					out.RoutesChanged++
+					break
+				}
+			}
+		}
+	}
+	if len(dead) > 0 && out.RoutesChanged == 0 {
+		return out, fmt.Errorf("reconfig: %d links dead yet no interposer route changed", len(dead))
+	}
+	out.Quiesced = true
+	return out, nil
+}
+
+// Reconfig is the -exp reconfig figure: the migration cost of killing
+// two interposer links under load, drainless vs epoch-fenced, at three
+// offered loads. Transition cycles are Begin→Finish wall-clock; cut
+// latency is Begin→Cut (the fence-and-drain window).
+func Reconfig(dur Durations, opts PoolOptions) ([]Table, error) {
+	t := Table{
+		ID:     "reconfig",
+		Title:  "Dynamic reconfiguration: migration cost of killing 2 interposer links under load",
+		Header: []string{"mode", "rate", "compatible", "transition_cycles", "cut_latency", "route_migrations", "heads_migrated", "held_streams", "popups", "quiesced"},
+		Notes: []string{
+			"modes: auto = CDG compatibility decides, drainless = never hold injection, epoch = always fence",
+			"UPP recovers transient mixed-epoch cycles during the overlap (DESIGN.md §15)",
+		},
+	}
+	links, err := KillableInterposerLinks(topology.BaselineConfig(), 2)
+	if err != nil {
+		return nil, err
+	}
+	killCycle := sim.Cycle(dur.Warmup)
+	if killCycle < 200 {
+		killCycle = 200
+	}
+	plan := faults.Plan{Kills: []faults.LinkKill{
+		{Link: links[0], Cycle: killCycle},
+		{Link: links[1], Cycle: killCycle},
+	}}
+	modes := []reconfig.Mode{reconfig.ModeAuto, reconfig.ModeDrainless, reconfig.ModeEpoch}
+	rates := []float64{0.05, 0.10, 0.15}
+	type cell struct {
+		out ReconfigOutcome
+		err error
+	}
+	cells := make([]cell, len(modes)*len(rates))
+	forEachIndex(len(cells), opts.jobs(), func(i int) {
+		mode := modes[i/len(rates)]
+		rate := rates[i%len(rates)]
+		opts.Progress.log("reconfig: mode=%s rate=%.2f", mode, rate)
+		cells[i].out, cells[i].err = RunReconfig(ReconfigSpec{
+			Mode:       mode,
+			Plan:       plan,
+			Seed:       5,
+			Rate:       rate,
+			LoadCycles: int(killCycle) + dur.Measure,
+			DrainMax:   200000,
+			StallLimit: 20000,
+		})
+	})
+	for i, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+		mode := modes[i/len(rates)]
+		rate := rates[i%len(rates)]
+		if len(c.out.Transitions) != 1 {
+			return nil, fmt.Errorf("reconfig: mode=%s rate=%.2f ran %d transitions, want 1", mode, rate, len(c.out.Transitions))
+		}
+		tr := c.out.Transitions[0]
+		t.Rows = append(t.Rows, []string{
+			mode.String(),
+			fmt.Sprintf("%.2f", rate),
+			fmt.Sprintf("%t", tr.Compatible),
+			fmt.Sprintf("%d", tr.Finish-tr.Begin),
+			fmt.Sprintf("%d", tr.Cut-tr.Begin),
+			fmt.Sprintf("%d", c.out.Stats.RouteMigrations),
+			fmt.Sprintf("%d", c.out.Stats.HeadsMigrated),
+			fmt.Sprintf("%d", c.out.Stats.ReconfigHeldStreams),
+			fmt.Sprintf("%d", c.out.Stats.PopupsCompleted),
+			fmt.Sprintf("%t", c.out.Quiesced),
+		})
+	}
+	return []Table{t}, nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"uppnoc/internal/faults"
 	"uppnoc/internal/network"
+	"uppnoc/internal/reconfig"
 	"uppnoc/internal/sim"
 	"uppnoc/internal/topology"
 	"uppnoc/internal/traffic"
@@ -158,20 +159,30 @@ func BuildRun(spec RunSpec) (*network.Network, *traffic.Generator, error) {
 			cfg.Router.BufferDepth = message.DataPacketFlits
 		}
 	}
+	var plan faults.Plan
+	if spec.FaultPlan != "" {
+		plan, err = faults.ParseSpec(topo, spec.FaultPlan)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	cfg.Seed = spec.Seed + 1
 	cfg.RouterArch = spec.RouterArch
-	cfg.UseUpDown = spec.UseUpDown || spec.Faults > 0 || spec.FaultsPerLayer > 0
+	// Persistent topology events rebuild routing at runtime, which needs
+	// the fault-indexed up*/down* local (XY consults Link.Faulty at route
+	// time and would wedge on a mid-run kill).
+	cfg.UseUpDown = spec.UseUpDown || spec.Faults > 0 || spec.FaultsPerLayer > 0 || plan.Persistent()
 	cfg.Adaptive = spec.Adaptive
 	n, err := network.New(topo, cfg, scheme)
 	if err != nil {
 		return nil, nil, err
 	}
 	if spec.FaultPlan != "" {
-		plan, perr := faults.ParseSpec(topo, spec.FaultPlan)
-		if perr != nil {
-			return nil, nil, perr
-		}
-		if _, perr := faults.Attach(n, plan); perr != nil {
+		if plan.Persistent() {
+			if _, perr := reconfig.Attach(n, reconfig.Config{Plan: plan}); perr != nil {
+				return nil, nil, perr
+			}
+		} else if _, perr := faults.Attach(n, plan); perr != nil {
 			return nil, nil, perr
 		}
 	}
@@ -194,7 +205,7 @@ func runMeasured(spec RunSpec, warm *warmState) (Point, error) {
 	var checkpoint func() error
 	if warm != nil {
 		snapBytes, found := warm.load()
-		if found && n.ReadSnapshot(snapBytes, g) == nil && n.Cycle() == at {
+		if found && n.ReadSnapshot(snapBytes, snapshotExtras(n, g)...) == nil && n.Cycle() == at {
 			warmHits.Add(1)
 		} else {
 			if found {

@@ -36,6 +36,33 @@ type EjectStall struct {
 	Start, End sim.Cycle
 }
 
+// LinkKill is a persistent link failure: at Cycle the link is announced
+// dead and never heals on its own. Unlike a LinkFlap — which only pauses
+// traffic — a kill changes the topology, so the reconfiguration engine
+// (internal/reconfig) must rebuild routing around it; the plain Injector
+// refuses plans that contain one.
+type LinkKill struct {
+	Link  int // index into Topology.Links; must be a mesh (non-vertical) link
+	Cycle sim.Cycle
+}
+
+// LinkAdd heals a construction-time Faulty link at Cycle — the hot-add /
+// repair event. Routing starts using the link once the reconfiguration
+// engine installs tables that include it.
+type LinkAdd struct {
+	Link  int
+	Cycle sim.Cycle
+}
+
+// ChipletKill fail-stops one chiplet's compute at Cycle: its cores stop
+// sourcing traffic and other cores stop targeting it. The chiplet's
+// routers stay powered so in-flight packets drain (the fail-stop model of
+// modular systems — a dead compute die, not a dead interposer region).
+type ChipletKill struct {
+	Chiplet int
+	Cycle   sim.Cycle
+}
+
 // Plan is a complete, replayable fault schedule. The zero Plan injects
 // nothing.
 type Plan struct {
@@ -45,6 +72,11 @@ type Plan struct {
 
 	Flaps  []LinkFlap
 	Stalls []EjectStall
+
+	// Persistent topology events; require the reconfiguration engine.
+	Kills        []LinkKill
+	Adds         []LinkAdd
+	ChipletKills []ChipletKill
 
 	// Drop is the per-kind loss probability for UPP protocol signals
 	// (indexed by network.SignalReq/SignalAck/SignalStop).
@@ -56,8 +88,14 @@ type Plan struct {
 
 // Empty reports whether the plan injects nothing at all.
 func (p *Plan) Empty() bool {
-	return len(p.Flaps) == 0 && len(p.Stalls) == 0 &&
+	return len(p.Flaps) == 0 && len(p.Stalls) == 0 && !p.Persistent() &&
 		p.Drop == [network.NumSignalKinds]float64{} && p.DelayProb == 0
+}
+
+// Persistent reports whether the plan contains topology-changing events
+// (kills, hot-adds, chiplet fail-stops) that need reconfig.Attach.
+func (p *Plan) Persistent() bool {
+	return len(p.Kills) > 0 || len(p.Adds) > 0 || len(p.ChipletKills) > 0
 }
 
 // Injector applies a Plan to one Network. It implements
@@ -75,6 +113,23 @@ type Injector struct {
 // the TSV/bump layer out of scope, and UPP's correctness leans on the up
 // link existing).
 func Attach(n *network.Network, plan Plan) (*Injector, error) {
+	if plan.Persistent() {
+		return nil, fmt.Errorf("faults: plan has persistent topology events (%d kills, %d adds, %d chiplet kills); attach it with reconfig.Attach",
+			len(plan.Kills), len(plan.Adds), len(plan.ChipletKills))
+	}
+	in, err := NewInjector(n, plan)
+	if err != nil {
+		return nil, err
+	}
+	n.SetFaultInjector(in)
+	return in, nil
+}
+
+// NewInjector validates the transient portion of plan (flaps, stalls,
+// signal fates) and builds an Injector without installing it on the
+// network. The reconfiguration engine embeds one this way, delegating
+// transient faults while it owns the network's injector slot itself.
+func NewInjector(n *network.Network, plan Plan) (*Injector, error) {
 	topo := n.Topo
 	links := make([]*topology.Link, len(plan.Flaps))
 	for i, fl := range plan.Flaps {
@@ -98,9 +153,7 @@ func Attach(n *network.Network, plan Plan) (*Injector, error) {
 			return nil, fmt.Errorf("faults: stall %d has empty window [%d, %d)", i, st.Start, st.End)
 		}
 	}
-	in := &Injector{net: n, plan: plan, links: links, down: make([]bool, len(plan.Flaps))}
-	n.SetFaultInjector(in)
-	return in, nil
+	return &Injector{net: n, plan: plan, links: links, down: make([]bool, len(plan.Flaps))}, nil
 }
 
 // Plan returns the attached plan (read-only copy).
@@ -253,11 +306,21 @@ func Generate(topo *topology.Topology, seed uint64, g GenConfig) Plan {
 //	drop=P        shorthand: all three kinds at once
 //	delayprob=P   delaymax=N    signal delay injection
 //	start=N       first fault window start cycle
+//	kill=L@C      persistent link kill: link L dies at cycle C (repeatable)
+//	add=L@C       hot-add: Faulty link L heals at cycle C (repeatable)
+//	killchiplet=K@C  fail-stop chiplet K's compute at cycle C (repeatable)
 //
 // Example: "seed=7,flaps=4,drop=0.2,delayprob=0.1".
+// Persistent events (kill/add/killchiplet) require reconfig.Attach.
+// Every window in the resulting plan is validated to be non-empty: a
+// degenerate parameter combination (e.g. flapevery=1, whose duration
+// clamp collapses the window) is an error here, not a silent no-op fault.
 func ParseSpec(topo *topology.Topology, spec string) (Plan, error) {
 	g := GenConfig{}
 	var seed uint64 = 1
+	var kills []LinkKill
+	var adds []LinkAdd
+	var chipKills []ChipletKill
 	for _, kv := range strings.Split(spec, ",") {
 		kv = strings.TrimSpace(kv)
 		if kv == "" {
@@ -310,11 +373,46 @@ func ParseSpec(topo *topology.Topology, spec string) (Plan, error) {
 			case "delayprob":
 				g.DelayProb = p
 			}
+		case "kill", "add", "killchiplet":
+			ts, cs, ok := strings.Cut(v, "@")
+			if !ok {
+				return Plan{}, fmt.Errorf("faults: bad value %q for %s (want TARGET@CYCLE)", v, k)
+			}
+			target, err1 := strconv.Atoi(ts)
+			cyc, err2 := strconv.Atoi(cs)
+			if err1 != nil || err2 != nil || target < 0 || cyc < 0 {
+				return Plan{}, fmt.Errorf("faults: bad value %q for %s (want non-negative TARGET@CYCLE)", v, k)
+			}
+			switch k {
+			case "kill":
+				kills = append(kills, LinkKill{Link: target, Cycle: sim.Cycle(cyc)})
+			case "add":
+				adds = append(adds, LinkAdd{Link: target, Cycle: sim.Cycle(cyc)})
+			case "killchiplet":
+				chipKills = append(chipKills, ChipletKill{Chiplet: target, Cycle: sim.Cycle(cyc)})
+			}
 		default:
 			return Plan{}, fmt.Errorf("faults: unknown spec key %q", k)
 		}
 	}
-	return Generate(topo, seed, g), nil
+	plan := Generate(topo, seed, g)
+	plan.Kills = kills
+	plan.Adds = adds
+	plan.ChipletKills = chipKills
+	// Reject degenerate windows instead of passing them through: a flap
+	// or stall whose end does not follow its start would silently inject
+	// nothing (or, worse, a miscomputed window could invert).
+	for i, fl := range plan.Flaps {
+		if fl.End <= fl.Start {
+			return Plan{}, fmt.Errorf("faults: flap %d has window [%d, %d), want start<end (check flapevery/flapdur)", i, fl.Start, fl.End)
+		}
+	}
+	for i, st := range plan.Stalls {
+		if st.End <= st.Start {
+			return Plan{}, fmt.Errorf("faults: stall %d has window [%d, %d), want start<end (check stallevery/stalldur)", i, st.Start, st.End)
+		}
+	}
+	return plan, nil
 }
 
 // String renders a plan summary for logs and diagnostics.
@@ -331,6 +429,9 @@ func (p Plan) String() string {
 		}
 		sort.Ints(links)
 		fmt.Fprintf(&b, " flap-links=%v", links)
+	}
+	if p.Persistent() {
+		fmt.Fprintf(&b, " kills=%d adds=%d chiplet-kills=%d", len(p.Kills), len(p.Adds), len(p.ChipletKills))
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"strings"
 	"testing"
 
 	"uppnoc/internal/network"
@@ -188,5 +189,69 @@ func TestFlapWindowsApplied(t *testing.T) {
 	}
 	if n.Stats.LinkFlaps != 2 {
 		t.Fatalf("LinkFlaps=%d want 2", n.Stats.LinkFlaps)
+	}
+}
+
+// TestParseSpecRejectsDegenerateWindows: parameter combinations whose
+// generated windows collapse (end not after start) are spec errors, not
+// silent no-op faults — the historical bug was flapevery=1 clamping the
+// flap duration to zero and injecting nothing.
+func TestParseSpecRejectsDegenerateWindows(t *testing.T) {
+	topo := testTopo(t)
+	cases := []struct {
+		name, spec string
+	}{
+		{"flap window collapses", "flaps=1,flapevery=1"},
+		{"flap window collapses multi", "flaps=3,flapevery=1,flapdur=700"},
+		{"stall window collapses", "stalls=1,stallevery=1"},
+		{"stall window collapses multi", "stalls=2,stallevery=1,stalldur=99"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(topo, tc.spec)
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) should fail", tc.spec)
+			}
+			if !strings.Contains(err.Error(), "want start<end") {
+				t.Fatalf("ParseSpec(%q) error %q does not say \"want start<end\"", tc.spec, err)
+			}
+		})
+	}
+	// The boundary case that must still work: flapevery=2 gives dur 1.
+	if _, err := ParseSpec(topo, "flaps=1,flapevery=2"); err != nil {
+		t.Fatalf("ParseSpec(flapevery=2): %v", err)
+	}
+}
+
+// TestParseSpecPersistentEvents: kill/add/killchiplet parse into the
+// persistent-event lists, and bad forms are rejected.
+func TestParseSpecPersistentEvents(t *testing.T) {
+	topo := testTopo(t)
+	plan, err := ParseSpec(topo, "kill=3@500,kill=7@500,add=3@2000,killchiplet=1@900")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(plan.Kills) != 2 || plan.Kills[0] != (LinkKill{Link: 3, Cycle: 500}) || plan.Kills[1] != (LinkKill{Link: 7, Cycle: 500}) {
+		t.Fatalf("kills: %+v", plan.Kills)
+	}
+	if len(plan.Adds) != 1 || plan.Adds[0] != (LinkAdd{Link: 3, Cycle: 2000}) {
+		t.Fatalf("adds: %+v", plan.Adds)
+	}
+	if len(plan.ChipletKills) != 1 || plan.ChipletKills[0] != (ChipletKill{Chiplet: 1, Cycle: 900}) {
+		t.Fatalf("chiplet kills: %+v", plan.ChipletKills)
+	}
+	if !plan.Persistent() || plan.Empty() {
+		t.Fatalf("plan with persistent events: Persistent=%v Empty=%v", plan.Persistent(), plan.Empty())
+	}
+	for _, bad := range []string{"kill=3", "kill=@5", "kill=3@", "kill=-1@5", "kill=3@-5", "add=x@5", "killchiplet=1@y"} {
+		if _, err := ParseSpec(topo, bad); err == nil {
+			t.Fatalf("ParseSpec(%q) should fail", bad)
+		}
+	}
+	// The plain injector refuses persistent plans: they change topology
+	// and need the reconfiguration engine.
+	n := network.MustNew(topo, network.DefaultConfig(), network.None{})
+	if _, err := Attach(n, plan); err == nil || !strings.Contains(err.Error(), "reconfig.Attach") {
+		t.Fatalf("Attach of persistent plan: err=%v, want reconfig.Attach hint", err)
 	}
 }

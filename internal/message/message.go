@@ -103,6 +103,13 @@ type Packet struct {
 	// InvalidNode if the destination is on the interposer.
 	IngressInterposer topology.NodeID
 
+	// Epoch is the routing epoch the packet's route lookups are pinned
+	// to. During a dynamic reconfiguration the network keeps both the old
+	// and the new routing tables live; packets stamped with an older epoch
+	// keep using the table they were injected under until they deliver or
+	// are migrated onto the current table (see internal/reconfig).
+	Epoch uint32
+
 	// DownPhase and RouteLayer carry per-layer up*/down* routing state in
 	// the head flit: once a packet takes a "down" tree link it may not go
 	// "up" again within the same layer. RouteLayer tracks the layer the

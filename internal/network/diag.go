@@ -34,6 +34,14 @@ type StallDiagnostic struct {
 	// protocol state).
 	SchemeName  string
 	SchemeState string
+	// RouteEpoch is the current routing epoch; ReconfigPending marks a
+	// stall with a reconfiguration transition in progress (old tables
+	// still installed, injection held, or links fenced), with
+	// OldEpochLive the packets still pinning the old tables — the first
+	// things to check when a stall coincides with a reconfiguration.
+	RouteEpoch      uint32
+	ReconfigPending bool
+	OldEpochLive    int64
 }
 
 // Error implements error. The first line keeps the historical message
@@ -42,6 +50,9 @@ func (d *StallDiagnostic) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "network: no ejection for %d cycles with %d packets in flight (deadlock?)",
 		d.StallLimit, d.InFlight)
+	if d.ReconfigPending {
+		fmt.Fprintf(&b, " [reconfig pending: epoch %d, old-epoch live %d]", d.RouteEpoch, d.OldEpochLive)
+	}
 	fmt.Fprintf(&b, "\nstalled at cycle %d; NI pending %d; buffered flits per vnet:", d.Cycle, d.NIPending)
 	for v := 0; v < message.NumVNets; v++ {
 		fmt.Fprintf(&b, " %s=%d", message.VNet(v), d.BufferedFlits[v])
@@ -58,13 +69,16 @@ func (d *StallDiagnostic) Error() string {
 // stallDiagnostic assembles the watchdog report for the current state.
 func (n *Network) stallDiagnostic(stallLimit sim.Cycle) *StallDiagnostic {
 	d := &StallDiagnostic{
-		Cycle:       n.cycle,
-		StallLimit:  stallLimit,
-		InFlight:    n.InFlight(),
-		Occupancy:   n.RenderOccupancy(),
-		UpPorts:     n.RenderUpPorts(),
-		SchemeName:  n.scheme.Name(),
-		SchemeState: n.scheme.Diagnostic(),
+		Cycle:           n.cycle,
+		StallLimit:      stallLimit,
+		InFlight:        n.InFlight(),
+		Occupancy:       n.RenderOccupancy(),
+		UpPorts:         n.RenderUpPorts(),
+		SchemeName:      n.scheme.Name(),
+		SchemeState:     n.scheme.Diagnostic(),
+		RouteEpoch:      n.routeEpoch,
+		ReconfigPending: n.prevHier != nil || n.injectHold || n.fencedLinks > 0,
+		OldEpochLive:    n.OldEpochLive(),
 	}
 	nvc := n.Cfg.Router.NumVCs()
 	for _, r := range n.Routers {

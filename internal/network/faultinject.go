@@ -46,6 +46,11 @@ type FaultInjector interface {
 // SetFaultInjector attaches a runtime fault injector. Pass nil to detach.
 func (n *Network) SetFaultInjector(fi FaultInjector) { n.faults = fi }
 
+// FaultInjector returns the attached runtime fault injector, or nil.
+// Checkpoint code uses it to include stateful injectors (the
+// reconfiguration engine implements SnapshotExtra) in UPWS snapshots.
+func (n *Network) FaultInjector() FaultInjector { return n.faults }
+
 // SignalFate consults the attached injector for one protocol-signal
 // transmission; without an injector every signal is delivered healthy.
 // Drops and delays are counted, and delays are clamped below the event

@@ -9,6 +9,7 @@ import (
 	"os"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"uppnoc/internal/message"
 	"uppnoc/internal/router"
@@ -220,6 +221,25 @@ type Network struct {
 	// faults is the optional runtime fault injector (nil in healthy runs;
 	// see faultinject.go and internal/faults).
 	faults FaultInjector
+
+	// Dynamic-reconfiguration state (reconfigctl.go, internal/reconfig).
+	// routeEpoch is the current routing epoch; prevHier holds the previous
+	// epoch's tables while packets stamped with the old epoch are still in
+	// flight. epochLive counts live packets per epoch parity (at most two
+	// epochs coexist — the engine serializes transitions); routeMigrations
+	// counts lazy old→new migrations. Both are atomics because Route runs
+	// on compute workers under the parallel kernel; they are folded into
+	// Stats coordinator-side at the end of every cycle (foldReconfigStats)
+	// so Stats stay bit-identical across kernels.
+	routeEpoch      uint32
+	prevHier        *routing.Hierarchical
+	injectHold      bool
+	fencedLinks     int
+	epochLive       [2]atomic.Int64
+	routeMigrations atomic.Uint64
+	// restoring suppresses fault-injector side effects while ReadSnapshot
+	// resyncs the injector's cursor (see snapshot.go and reconfig.Engine).
+	restoring bool
 }
 
 // New builds a network over t with the given scheme. The scheme's boundary
@@ -378,7 +398,41 @@ func (n *Network) Route(cur topology.NodeID, inPort topology.PortID, p *message.
 	if n.routeOverride != nil {
 		return n.routeOverride(cur, inPort, p)
 	}
+	if n.prevHier != nil && p.Epoch != n.routeEpoch {
+		// The packet was injected under the previous routing epoch: keep
+		// routing it with the old tables (UPR-style coexistence — the
+		// engine proved, or UPP nets, old∪new CDG safety). If the old
+		// route would cross a fenced port (a link about to be cut), the
+		// packet migrates onto the current epoch's tables instead.
+		port, err := n.prevHier.NextPort(cur, p)
+		if err == nil && port != topology.LocalPort && n.Routers[cur].PortFenced(port) {
+			n.migratePacket(p)
+			return n.hier.NextPort(cur, p)
+		}
+		return port, err
+	}
 	return n.hier.NextPort(cur, p)
+}
+
+// migratePacket moves a live packet from the previous routing epoch onto
+// the current one. DownPhase resets: the new tables may legally route the
+// packet back up through the interposer, and the up*/down* invariant only
+// has to hold per routing function, not across the splice (transient
+// cross-epoch cycles are exactly what UPP recovers during a transition).
+func (n *Network) migratePacket(p *message.Packet) {
+	old := p.Epoch
+	p.Epoch = n.routeEpoch
+	p.DownPhase = false
+	n.epochLive[old&1].Add(-1)
+	n.epochLive[p.Epoch&1].Add(1)
+	n.routeMigrations.Add(1)
+}
+
+// foldReconfigStats publishes the worker-side migration counter into
+// Stats. Called coordinator-side at the end of every cycle under all
+// three kernels, so Stats remain bit-identical across them.
+func (n *Network) foldReconfigStats() {
+	n.Stats.RouteMigrations = n.routeMigrations.Load()
 }
 
 // Cycle returns the current simulation time.
@@ -747,6 +801,7 @@ func (n *Network) stepNaive() {
 		ni.step(cycle)
 	}
 	n.scheme.EndOfCycle(cycle)
+	n.foldReconfigStats()
 	n.cycle++
 }
 
@@ -774,6 +829,7 @@ func (n *Network) stepActive() {
 	n.retireRouters(cycle)
 	n.retireNIs()
 	n.scheme.EndOfCycle(cycle)
+	n.foldReconfigStats()
 	n.cycle++
 }
 
@@ -828,6 +884,7 @@ func (n *Network) skipIdleCycles(limit sim.Cycle) {
 // recordEjected updates latency statistics when a packet fully ejects.
 func (n *Network) recordEjected(p *message.Packet, cycle sim.Cycle) {
 	n.lastEject = cycle
+	n.epochLive[p.Epoch&1].Add(-1)
 	n.Stats.EjectedPackets++
 	if p.BirthCycle >= n.Stats.MeasureStart {
 		n.Stats.MeasuredPackets++

@@ -214,9 +214,16 @@ func (ni *NI) grantWaiters(cycle sim.Cycle) {
 }
 
 func (ni *NI) injectStep(cycle sim.Cycle) {
-	// Start new streams: one attempt per VNet per cycle.
+	// Start new streams: one attempt per VNet per cycle. During an
+	// epoch-based reconfiguration transition injection is held: no new
+	// stream may start until the old routing epoch drains (streams
+	// already mid-flight finish — wormhole atomicity).
 	for v := 0; v < message.NumVNets; v++ {
 		if ni.active[v] || ni.injQ[v].Len() == 0 {
+			continue
+		}
+		if ni.net.injectHold {
+			ni.net.Stats.ReconfigHeldStreams++
 			continue
 		}
 		p := ni.injQ[v].Front()
@@ -248,6 +255,11 @@ func (ni *NI) injectStep(cycle sim.Cycle) {
 		f := message.Flit{Pkt: st.pkt, Seq: st.next}
 		if f.IsHead() {
 			st.pkt.InjectCycle = cycle
+			// Stamp the packet's routing epoch at the moment its head
+			// enters the network: route lookups stay pinned to this
+			// epoch's tables until delivery or migration (see Route).
+			st.pkt.Epoch = ni.net.routeEpoch
+			ni.net.epochLive[st.pkt.Epoch&1].Add(1)
 			ni.net.Stats.InjectedPackets++
 			if ni.net.Tracing() {
 				// Guarded: the variadic argument boxing would allocate

@@ -213,6 +213,7 @@ func (n *Network) stepParallel() {
 	n.retireRouters(cycle)
 	n.retireNIs()
 	n.scheme.EndOfCycle(cycle)
+	n.foldReconfigStats()
 	n.cycle++
 }
 

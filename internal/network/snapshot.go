@@ -19,8 +19,11 @@ import (
 // run bit-identically (flit traces, stats, popups) under every kernel,
 // shard count and router arch.
 const (
-	snapMagic   = "UPWS"
-	snapVersion = 1
+	snapMagic = "UPWS"
+	// Version 2 added the routing-epoch scalars (routeEpoch, injectHold,
+	// epochLive) and the per-packet Epoch field for dynamic
+	// reconfiguration.
+	snapVersion = 2
 	// snapTrailer closes the stream; ReadSnapshot additionally requires
 	// zero trailing bytes.
 	snapTrailer = 0x5eed
@@ -137,6 +140,15 @@ func (n *Network) WriteSnapshot(out io.Writer, extras ...SnapshotExtra) error {
 	w.Uvarint(n.rng.State()[1])
 	w.Uvarint(n.rng.State()[2])
 	w.Uvarint(n.rng.State()[3])
+
+	// Reconfiguration scalars. prevHier is not serialized — the attached
+	// reconfiguration engine re-derives and reinstalls both routing tables
+	// from its own (serialized) event cursor during its RestoreState.
+	w.Uvarint(uint64(n.routeEpoch))
+	w.Bool(n.injectHold)
+	w.Varint(n.epochLive[0].Load())
+	w.Varint(n.epochLive[1].Load())
+	w.Int(n.fencedLinks)
 
 	// The packet table closes every pointer-bearing section; sections
 	// after it must not reference packets.
@@ -331,6 +343,16 @@ func (n *Network) ReadSnapshot(data []byte, extras ...SnapshotExtra) (err error)
 	}
 	n.rng.SetState(st)
 
+	epoch := r.Uvarint("route epoch")
+	if r.Err() == nil && epoch > math.MaxUint32 {
+		return fmt.Errorf("network: route epoch %d out of range", epoch)
+	}
+	n.routeEpoch = uint32(epoch)
+	n.injectHold = r.Bool("inject hold")
+	n.epochLive[0].Store(r.Varint("epoch live 0"))
+	n.epochLive[1].Store(r.Varint("epoch live 1"))
+	n.fencedLinks = r.Int("fenced links", 0, int64(len(n.Topo.Links)))
+
 	r.ReadPacketTable()
 	if r.Err() != nil {
 		return r.Err()
@@ -343,14 +365,22 @@ func (n *Network) ReadSnapshot(data []byte, extras ...SnapshotExtra) (err error)
 	// Resync an attached fault injector's flap windows to the restored
 	// clock before the counters land: SetLinkDown edges during resync
 	// bump Stats.LinkFlaps, which the Stats section below overwrites
-	// with the writer's true counts.
+	// with the writer's true counts. The restoring flag tells a
+	// state-machine injector (reconfig.Engine) this BeginCycle is a
+	// cursor resync, not live simulation — its own RestoreState (an
+	// extra below) rebuilds the authoritative state afterwards.
+	n.restoring = true
 	if n.faults != nil && cycle > 0 {
 		n.faults.BeginCycle(cycle - 1)
 	}
+	n.restoring = false
 
 	if err := n.Stats.restore(r); err != nil {
 		return err
 	}
+	// The worker-side migration counter mirrors the folded Stats value
+	// (snapshots are taken between cycles, right after a fold).
+	n.routeMigrations.Store(n.Stats.RouteMigrations)
 	if err := n.latHist.restore(r); err != nil {
 		return err
 	}
@@ -548,6 +578,14 @@ func (s *Stats) snapshot(w *snap.Writer) {
 	w.Uvarint(s.LateSignals)
 	w.Uvarint(s.LinkFlaps)
 	w.Uvarint(s.EjectionStalls)
+	w.Uvarint(s.Reconfigs)
+	w.Uvarint(s.ReconfigsDrainless)
+	w.Uvarint(s.ReconfigsEpoch)
+	w.Uvarint(s.RouteMigrations)
+	w.Uvarint(s.HeadsMigrated)
+	w.Uvarint(s.LinksKilled)
+	w.Uvarint(s.LinksRevived)
+	w.Uvarint(s.ReconfigHeldStreams)
 }
 
 func (s *Stats) restore(r *snap.Reader) error {
@@ -576,6 +614,14 @@ func (s *Stats) restore(r *snap.Reader) error {
 	s.LateSignals = r.Uvarint("stats late signals")
 	s.LinkFlaps = r.Uvarint("stats link flaps")
 	s.EjectionStalls = r.Uvarint("stats ejection stalls")
+	s.Reconfigs = r.Uvarint("stats reconfigs")
+	s.ReconfigsDrainless = r.Uvarint("stats reconfigs drainless")
+	s.ReconfigsEpoch = r.Uvarint("stats reconfigs epoch")
+	s.RouteMigrations = r.Uvarint("stats route migrations")
+	s.HeadsMigrated = r.Uvarint("stats heads migrated")
+	s.LinksKilled = r.Uvarint("stats links killed")
+	s.LinksRevived = r.Uvarint("stats links revived")
+	s.ReconfigHeldStreams = r.Uvarint("stats reconfig held streams")
 	return r.Err()
 }
 

@@ -47,6 +47,17 @@ type Stats struct {
 	LateSignals    uint64 // arrivals for already-retired popups, discarded
 	LinkFlaps      uint64 // transient link-outage windows applied
 	EjectionStalls uint64 // NI consume passes suppressed by an injected PE stall
+
+	// Dynamic-reconfiguration counters (internal/reconfig; all stay zero
+	// without a reconfiguration engine attached).
+	Reconfigs           uint64 // routing-epoch transitions begun
+	ReconfigsDrainless  uint64 // transitions run without an injection hold (CDG-compatible)
+	ReconfigsEpoch      uint64 // transitions run with the injection fence (CDG-incompatible)
+	RouteMigrations     uint64 // old-epoch packets migrated onto new tables at route computation
+	HeadsMigrated       uint64 // waiting wormhole heads unrouted off fenced ports
+	LinksKilled         uint64 // persistent link failures applied
+	LinksRevived        uint64 // persistent links healed (hot-add)
+	ReconfigHeldStreams uint64 // stream starts deferred by the injection fence
 }
 
 // ResetMeasurement starts a fresh measurement window at the given cycle.

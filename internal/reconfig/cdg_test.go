@@ -1,0 +1,231 @@
+package reconfig_test
+
+import (
+	"fmt"
+	"testing"
+
+	"uppnoc/internal/message"
+	"uppnoc/internal/reconfig"
+	"uppnoc/internal/routing"
+	"uppnoc/internal/topology"
+)
+
+// yxLocal routes Y-first then X — the classic counterexample to XY.
+// Individually it is deadlock-free (dimension order), but its union with
+// XY contains all four turn types and therefore a dependency cycle on
+// any 2×2 mesh patch: the known-incompatible pair of the checker's
+// contract.
+type yxLocal struct{ topo *topology.Topology }
+
+func (r yxLocal) NextPort(cur, dst topology.NodeID, _ *message.Packet) (topology.PortID, error) {
+	cn := r.topo.Node(cur)
+	dn := r.topo.Node(dst)
+	var dir topology.Direction
+	switch {
+	case dn.Y > cn.Y:
+		dir = topology.North
+	case dn.Y < cn.Y:
+		dir = topology.South
+	case dn.X > cn.X:
+		dir = topology.East
+	case dn.X < cn.X:
+		dir = topology.West
+	default:
+		return topology.LocalPort, nil
+	}
+	p := cn.PortTo(dir)
+	if p == topology.InvalidPort {
+		return topology.InvalidPort, fmt.Errorf("yx: no %s port at node %d", dir, cur)
+	}
+	return p, nil
+}
+
+// wfLocal is west-first minimal routing: move west first when the
+// destination lies west, otherwise Y before east. Its routes avoid the
+// N→W and S→W turns, as do XY's, so the XY∪wf union stays inside the
+// west-first turn model and is provably acyclic: the known-compatible
+// (but genuinely different) pair of the checker's contract.
+type wfLocal struct{ topo *topology.Topology }
+
+func (r wfLocal) NextPort(cur, dst topology.NodeID, _ *message.Packet) (topology.PortID, error) {
+	cn := r.topo.Node(cur)
+	dn := r.topo.Node(dst)
+	var dir topology.Direction
+	switch {
+	case dn.X < cn.X:
+		dir = topology.West
+	case dn.Y > cn.Y:
+		dir = topology.North
+	case dn.Y < cn.Y:
+		dir = topology.South
+	case dn.X > cn.X:
+		dir = topology.East
+	default:
+		return topology.LocalPort, nil
+	}
+	p := cn.PortTo(dir)
+	if p == topology.InvalidPort {
+		return topology.InvalidPort, fmt.Errorf("wf: no %s port at node %d", dir, cur)
+	}
+	return p, nil
+}
+
+// TestBuildCDGAcyclicBaseline pins that the deadlock-free locals the
+// simulator ships produce acyclic per-layer CDGs on the baseline system.
+func TestBuildCDGAcyclicBaseline(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	ud, err := routing.NewUpDown(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		local routing.Local
+	}{
+		{"xy", routing.NewXY(topo)},
+		{"updown", ud},
+		{"yx", yxLocal{topo}},
+		{"westfirst", wfLocal{topo}},
+	} {
+		g, err := reconfig.BuildCDG(topo, tc.local)
+		if err != nil {
+			t.Fatalf("%s: BuildCDG: %v", tc.name, err)
+		}
+		if g.Edges() == 0 {
+			t.Fatalf("%s: CDG has no edges — the walk found no multi-hop routes", tc.name)
+		}
+		if cyc := g.FindCycle(); cyc != nil {
+			t.Fatalf("%s: individually cyclic CDG: %v", tc.name, cyc)
+		}
+	}
+}
+
+// TestCompatibleUnionKnownCompatible: XY and west-first are different
+// routing functions whose union stays within the west-first turn model —
+// the checker must prove them compatible (drainless transition legal).
+func TestCompatibleUnionKnownCompatible(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	xy, err := reconfig.BuildCDG(topo, routing.NewXY(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := reconfig.BuildCDG(topo, wfLocal{topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.Edges() == xy.Edges() && reconfig.Union(xy, wf).Edges() == xy.Edges() {
+		t.Fatal("west-first collapsed to XY — the compatible pair is not a real test")
+	}
+	ok, cyc := reconfig.CompatibleUnion(xy, wf)
+	if !ok {
+		t.Fatalf("XY ∪ west-first reported incompatible, witness %v", cyc)
+	}
+	if cyc != nil {
+		t.Fatalf("compatible verdict with a witness cycle %v", cyc)
+	}
+}
+
+// TestCompatibleUnionKnownIncompatible: XY and YX individually are
+// acyclic but their union has all four turn types — the checker must
+// find a cycle and return it as a witness.
+func TestCompatibleUnionKnownIncompatible(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	xy, err := reconfig.BuildCDG(topo, routing.NewXY(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	yx, err := reconfig.BuildCDG(topo, yxLocal{topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, cyc := reconfig.CompatibleUnion(xy, yx)
+	if ok {
+		t.Fatal("XY ∪ YX reported compatible — the checker missed the turn-model cycle")
+	}
+	if len(cyc) < 3 {
+		t.Fatalf("witness cycle too short: %v", cyc)
+	}
+	if cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("witness %v does not close (first != last)", cyc)
+	}
+	seen := map[reconfig.ChannelID]bool{}
+	for _, c := range cyc[:len(cyc)-1] {
+		if seen[c] {
+			t.Fatalf("witness %v revisits channel %d before closing", cyc, c)
+		}
+		seen[c] = true
+	}
+}
+
+// TestCDGUpDownSurvivesKill pins the reconfiguration path's actual
+// check: up*/down* rebuilt after a persistent mesh-link failure must
+// still produce a walkable, individually-acyclic CDG.
+func TestCDGUpDownSurvivesKill(t *testing.T) {
+	topo := topology.MustBuild(topology.BaselineConfig())
+	before, err := routing.NewUpDown(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBefore, err := reconfig.BuildCDG(topo, before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the first interposer mesh link whose removal keeps the layer
+	// connected.
+	var killed *topology.Link
+	for _, l := range topo.Links {
+		if l.Vertical || l.Faulty || topo.Node(l.A).Chiplet != topology.InterposerChiplet {
+			continue
+		}
+		l.Faulty = true
+		if _, err := routing.NewUpDown(topo); err == nil {
+			killed = l
+			break
+		}
+		l.Faulty = false
+	}
+	if killed == nil {
+		t.Fatal("no killable interposer mesh link found")
+	}
+	after, err := routing.NewUpDown(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gAfter, err := reconfig.BuildCDG(topo, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc := gAfter.FindCycle(); cyc != nil {
+		t.Fatalf("post-kill up*/down* CDG cyclic: %v", cyc)
+	}
+	// The dead link's channels must have vanished from the new graph.
+	a, b := reconfig.Channel(killed, killed.A), reconfig.Channel(killed, killed.B)
+	if !gBefore.UsesChannel(a) && !gBefore.UsesChannel(b) {
+		t.Fatalf("pre-kill CDG never used link %d — kill is not a real routing change", killed.ID)
+	}
+	if gAfter.UsesChannel(a) || gAfter.UsesChannel(b) {
+		t.Fatalf("post-kill CDG still depends on killed link %d", killed.ID)
+	}
+	routes := 0
+	nodes := topo.LayerNodes(topology.InterposerChiplet)
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			path, err := reconfig.WalkRoute(topo, after, topology.InterposerChiplet, src, dst)
+			if err != nil {
+				t.Fatalf("WalkRoute %d->%d: %v", src, dst, err)
+			}
+			for i := 0; i+1 < len(path); i++ {
+				if (path[i] == killed.A && path[i+1] == killed.B) || (path[i] == killed.B && path[i+1] == killed.A) {
+					t.Fatalf("route %v crosses killed link %d", path, killed.ID)
+				}
+			}
+			routes++
+		}
+	}
+	if routes == 0 {
+		t.Fatal("walked no interposer routes")
+	}
+}

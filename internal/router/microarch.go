@@ -114,6 +114,20 @@ type Microarch interface {
 	SetPortDown(p topology.PortID, down bool)
 	// PortDown reports whether output p crosses a down link.
 	PortDown(p topology.PortID) bool
+	// SetPortFenced marks output p as draining toward a permanent link
+	// removal: Waiting heads are never granted it, Active packets finish
+	// crossing (dynamic reconfiguration's fence-then-cut protocol).
+	SetPortFenced(p topology.PortID, fenced bool)
+	// PortFenced reports whether output p is fenced for draining.
+	PortFenced(p topology.PortID) bool
+	// UnrouteFencedHeads sends every Waiting head aimed at a fenced port
+	// back to route computation (the route function migrates it onto the
+	// current routing epoch); returns the number of heads unrouted.
+	UnrouteFencedHeads() int
+	// PortQuiet reports that no allocation is in flight through output p
+	// (no Waiting or Active input VC targets it and nothing is staged for
+	// it) — the fence-then-cut protocol's cut condition.
+	PortQuiet(p topology.PortID) bool
 
 	// StatsSnapshot returns the datapath event counters.
 	StatsSnapshot() Stats

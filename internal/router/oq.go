@@ -108,6 +108,12 @@ func (q *OQ) StagedFor(p topology.PortID, vc int) int {
 // StagedCount implements Microarch.
 func (q *OQ) StagedCount(p topology.PortID) int { return q.stage[p].count }
 
+// PortQuiet implements Microarch: staged flits still need the link, so a
+// fenced output is only quiet once its staging FIFO drained too.
+func (q *OQ) PortQuiet(p topology.PortID) bool {
+	return q.stage[p].count == 0 && q.Router.PortQuiet(p)
+}
+
 // ScanStaged implements Microarch.
 func (q *OQ) ScanStaged(fn func(message.Flit)) {
 	for pi := range q.stage {
@@ -201,6 +207,12 @@ func (q *OQ) Step(cycle sim.Cycle) {
 			}
 			st := &q.stage[vc.OutPort]
 			if st.count == len(st.buf) {
+				continue
+			}
+			if vc.State == VCWaiting && q.fencedOut&(1<<uint(vc.OutPort)) != 0 {
+				// The port is draining toward a permanent cut: no new
+				// wormhole may start crossing (UnrouteFencedHeads migrates
+				// the head onto the new routing).
 				continue
 			}
 			if vc.State == VCWaiting {

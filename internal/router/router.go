@@ -109,6 +109,13 @@ type Router struct {
 	// zero in fault-free runs, so the hot-path check never fires.
 	downOut uint32
 
+	// fencedOut is a bitmask of output ports being drained ahead of a
+	// permanent link removal (dynamic reconfiguration). Unlike downOut it
+	// blocks only new wormholes: Waiting heads are never granted a fenced
+	// port (and are migrated onto the new routing by UnrouteFencedHeads),
+	// while Active packets finish crossing so the cut never splits a worm.
+	fencedOut uint32
+
 	Stats Stats
 }
 
@@ -251,6 +258,71 @@ func (r *Router) PortDown(p topology.PortID) bool {
 	return r.downOut&(1<<uint(p)) != 0
 }
 
+// SetPortFenced marks output port p as draining toward a permanent link
+// removal. While fenced, switch allocation grants the port to Active
+// packets only — no new wormhole may start crossing. The reconfiguration
+// engine fences both endpoints of a dying link, migrates the Waiting
+// heads, waits for the Active worms to finish, then cuts the link.
+func (r *Router) SetPortFenced(p topology.PortID, fenced bool) {
+	if fenced {
+		r.fencedOut |= 1 << uint(p)
+	} else {
+		r.fencedOut &^= 1 << uint(p)
+	}
+}
+
+// PortFenced reports whether output port p is fenced for draining.
+func (r *Router) PortFenced(p topology.PortID) bool {
+	return r.fencedOut&(1<<uint(p)) != 0
+}
+
+// UnrouteFencedHeads clears the route of every Waiting head whose computed
+// output port is fenced, returning it to the route-computation stage: the
+// next Step re-routes the packet, and the network's route function
+// migrates it onto the current routing epoch (away from the dying link).
+// Active packets (downstream VC already allocated) are left alone — they
+// must finish crossing. Held VCs belong to a scheme plugin and are
+// skipped. Returns the number of heads unrouted.
+func (r *Router) UnrouteFencedHeads() int {
+	if r.fencedOut == 0 {
+		return 0
+	}
+	n := 0
+	for pi := range r.In {
+		for vi := range r.In[pi].VCs {
+			vc := &r.In[pi].VCs[vi]
+			if vc.Hold || vc.State != VCWaiting || vc.OutPort == topology.InvalidPort {
+				continue
+			}
+			if r.fencedOut&(1<<uint(vc.OutPort)) == 0 {
+				continue
+			}
+			vc.State = VCIdle
+			vc.OutPort = topology.InvalidPort
+			vc.routed = false
+			n++
+		}
+	}
+	return n
+}
+
+// PortQuiet reports whether output port p has no allocation in flight:
+// no input VC is Waiting on or Actively streaming through it, and (in
+// staged microarchitectures) nothing staged for it. The reconfiguration
+// engine polls it on a fenced port to learn when the link may be cut
+// without splitting a wormhole.
+func (r *Router) PortQuiet(p topology.PortID) bool {
+	for pi := range r.In {
+		for vi := range r.In[pi].VCs {
+			vc := &r.In[pi].VCs[vi]
+			if vc.State != VCIdle && vc.OutPort == p {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Neighbor returns the (node, port) on the far side of output port p.
 func (r *Router) Neighbor(p topology.PortID) (topology.NodeID, topology.PortID) {
 	pt := &r.Node.Ports[p]
@@ -376,6 +448,12 @@ func (r *Router) pickInputVC(pi topology.PortID, cycle sim.Cycle) int {
 		}
 		switch vc.State {
 		case VCWaiting:
+			if r.fencedOut&(1<<uint(vc.OutPort)) != 0 {
+				// The port is draining toward a permanent cut: no new
+				// wormhole may start crossing (the head is migrated onto
+				// the new routing by UnrouteFencedHeads).
+				continue
+			}
 			if !r.headCanAdvance(vc, f, cycle) {
 				continue
 			}

@@ -44,6 +44,7 @@ func (r *Router) Snapshot(w *snap.Writer) {
 	w.Uvarint(uint64(r.upSent))
 	w.Varint(r.upSentAt)
 	w.Uvarint(uint64(r.downOut))
+	w.Uvarint(uint64(r.fencedOut))
 	w.Uvarint(r.Stats.BufferWrites)
 	w.Uvarint(r.Stats.BufferReads)
 	w.Uvarint(r.Stats.CrossbarTravs)
@@ -117,6 +118,11 @@ func (r *Router) Restore(rd *snap.Reader) error {
 		rd.Fail("down mask %d out of range", down)
 	}
 	r.downOut = uint32(down)
+	fenced := rd.Uvarint("fenced mask")
+	if rd.Err() == nil && fenced > math.MaxUint32 {
+		rd.Fail("fenced mask %d out of range", fenced)
+	}
+	r.fencedOut = uint32(fenced)
 	r.Stats.BufferWrites = rd.Uvarint("stats bufw")
 	r.Stats.BufferReads = rd.Uvarint("stats bufr")
 	r.Stats.CrossbarTravs = rd.Uvarint("stats xbar")

@@ -107,6 +107,12 @@ func (q *VOQ) pickVCFor(pi, oi topology.PortID, cycle sim.Cycle) int {
 		}
 		switch vc.State {
 		case VCWaiting:
+			if q.fencedOut&(1<<uint(vc.OutPort)) != 0 {
+				// The port is draining toward a permanent cut: no new
+				// wormhole may start crossing (the head is migrated onto
+				// the new routing by UnrouteFencedHeads).
+				continue
+			}
 			if !q.headCanAdvance(vc, f, cycle) {
 				continue
 			}

@@ -38,16 +38,33 @@ type updownHop struct {
 	nextPhase uint8
 }
 
+// DisconnectedError reports that a layer's healthy links no longer form a
+// connected mesh: Node cannot be reached from the layer's spanning-tree
+// root. Reconfiguration engines match it with errors.As to distinguish "a
+// persistent failure partitioned the layer" (a plan/topology problem)
+// from internal routing bugs.
+type DisconnectedError struct {
+	// Layer is the partitioned layer (a chiplet index or
+	// topology.InterposerChiplet).
+	Layer int
+	// Node is the first unreachable node found.
+	Node topology.NodeID
+}
+
+func (e *DisconnectedError) Error() string {
+	return fmt.Sprintf("layer %d disconnected: node %d unreachable from layer root", e.Layer, e.Node)
+}
+
 // NewUpDown builds up*/down* tables for every layer of t using only the
-// healthy links. It fails if a layer is disconnected or some pair has no
-// legal route (cannot happen on a connected layer: root paths are always
-// legal).
+// healthy links. It fails with a wrapped *DisconnectedError if a layer is
+// disconnected, or a plain error if some pair has no legal route (cannot
+// happen on a connected layer: root paths are always legal).
 func NewUpDown(t *topology.Topology) (*UpDown, error) {
 	u := &UpDown{topo: t, layers: map[int]*updownLayer{}}
 	build := func(layer int) error {
-		l, err := buildUpDownLayer(t, t.LayerNodes(layer))
+		l, err := buildUpDownLayer(t, layer, t.LayerNodes(layer))
 		if err != nil {
-			return fmt.Errorf("routing: layer %d: %w", layer, err)
+			return fmt.Errorf("routing: %w", err)
 		}
 		u.layers[layer] = l
 		return nil
@@ -96,7 +113,7 @@ func (u *UpDown) NextPort(cur, dst topology.NodeID, p *message.Packet) (topology
 
 // buildUpDownLayer computes the spanning-tree orientation and shortest
 // legal next hops for one layer.
-func buildUpDownLayer(t *topology.Topology, nodes []topology.NodeID) (*updownLayer, error) {
+func buildUpDownLayer(t *topology.Topology, layer int, nodes []topology.NodeID) (*updownLayer, error) {
 	l := &updownLayer{index: make(map[topology.NodeID]int, len(nodes)), nodes: nodes}
 	for i, id := range nodes {
 		l.index[id] = i
@@ -131,7 +148,7 @@ func buildUpDownLayer(t *topology.Topology, nodes []topology.NodeID) (*updownLay
 	}
 	for i, lv := range level {
 		if lv < 0 {
-			return nil, fmt.Errorf("node %d unreachable from layer root", nodes[i])
+			return nil, &DisconnectedError{Layer: layer, Node: nodes[i]}
 		}
 	}
 

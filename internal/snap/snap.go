@@ -139,6 +139,7 @@ func (w *Writer) writePacketBody(p *message.Packet) {
 	w.Varint(p.EjectCycle)
 	w.Varint(int64(p.EgressBoundary))
 	w.Varint(int64(p.IngressInterposer))
+	w.Uvarint(uint64(p.Epoch))
 	w.Bool(p.DownPhase)
 	w.Varint(int64(p.RouteLayer))
 	w.Varint(int64(p.LayerEntryX))
@@ -373,6 +374,12 @@ func (r *Reader) readPacketBody(p *message.Packet) {
 	p.EjectCycle = r.Varint("pkt eject")
 	p.EgressBoundary = topoNode(r, "pkt egress")
 	p.IngressInterposer = topoNode(r, "pkt ingress")
+	epoch := r.Uvarint("pkt epoch")
+	if r.err == nil && epoch > math.MaxUint32 {
+		r.Fail("pkt epoch %d out of range", epoch)
+		return
+	}
+	p.Epoch = uint32(epoch)
 	p.DownPhase = r.Bool("pkt downphase")
 	p.RouteLayer = int16(r.Int("pkt routelayer", math.MinInt16, math.MaxInt16))
 	p.LayerEntryX = int16(r.Int("pkt layerentryx", math.MinInt16, math.MaxInt16))

@@ -98,6 +98,13 @@ type Generator struct {
 	// packets; the rest are 5-flit data packets (Table II's mix).
 	CtrlFraction float64
 
+	// CoreAlive, when set, gates injection on both endpoints' compute
+	// being alive (the reconfiguration engine's chiplet fail-stop): a
+	// packet whose source or destination core is dead is not
+	// materialized. The RNG draws still happen, so the surviving cores'
+	// traffic streams are identical with and without deaths.
+	CoreAlive func(topology.NodeID) bool
+
 	pktProb float64
 }
 
@@ -151,16 +158,21 @@ func (g *Generator) Tick(cycle sim.Cycle) {
 		if d == i {
 			continue
 		}
+		ctrl := rng.Bernoulli(g.CtrlFraction)
+		reqVNet := ctrl && rng.Bernoulli(0.5)
+		if g.CoreAlive != nil && (!g.CoreAlive(src) || !g.CoreAlive(g.cores[d])) {
+			continue
+		}
 		// Recycled from the network's pool: the destination NI releases
 		// the packet once its PE consumes it.
 		p := g.net.AllocPacket()
 		p.Src = src
 		p.Dst = g.cores[d]
-		if rng.Bernoulli(g.CtrlFraction) {
+		if ctrl {
 			p.Size = message.ControlPacketFlits
 			p.Class = message.ClassSyntheticCtrl
 			// Control packets ride the request or forward VNets.
-			if rng.Bernoulli(0.5) {
+			if reqVNet {
 				p.VNet = message.VNetRequest
 			} else {
 				p.VNet = message.VNetForward
